@@ -1,0 +1,56 @@
+// Command gpdbench regenerates the reproduction tables of EXPERIMENTS.md:
+// one per figure and formal claim of Mittal & Garg (ICDCS 2001).
+//
+// Usage:
+//
+//	gpdbench            # run every experiment
+//	gpdbench -run E3    # run one experiment by id (F1..F3, E1..E7)
+//	gpdbench -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/distributed-predicates/gpd/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gpdbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gpdbench", flag.ContinueOnError)
+	runID := fs.String("run", "", "run only the experiment with this id (e.g. E3)")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-4s %s\n", r.ID, r.Name)
+		}
+		return nil
+	}
+	if *runID != "" {
+		r := experiments.Get(*runID)
+		if r == nil {
+			var ids []string
+			for _, rr := range experiments.All() {
+				ids = append(ids, rr.ID)
+			}
+			return fmt.Errorf("unknown experiment %q (known: %s)", *runID, strings.Join(ids, ", "))
+		}
+		fmt.Println(r.Run().String())
+		return nil
+	}
+	for _, r := range experiments.All() {
+		fmt.Println(r.Run().String())
+	}
+	return nil
+}

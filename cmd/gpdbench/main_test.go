@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleFastExperiment(t *testing.T) {
+	// F2 is instantaneous: the Figure 2 relations table.
+	if err := run([]string{"-run", "F2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "Z9"}); err == nil {
+		t.Fatal("unknown experiment id must error")
+	}
+}

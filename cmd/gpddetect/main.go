@@ -1,0 +1,303 @@
+// Command gpddetect runs a predicate detector against a JSON trace read
+// from a file or stdin.
+//
+// Usage:
+//
+//	gpddetect -trace ring.json -pred 'sum(tokens) == 2'
+//	gpddetect -trace ring.json -pred 'sum(tokens) >= 1' -modality definitely
+//	gpddetect -trace mutex.json -pred 'count(cs) >= 2'
+//	gpddetect -trace votes.json -pred 'xor(yes)'
+//	gpddetect -trace t.json -pred 'cnf(flag): (0 | !1) & (2 | 3)' -strategy auto
+//
+// Predicate syntax:
+//
+//	sum(<var>) <relop> <k>      relational sum predicate
+//	count(<var>) <relop> <k>    symmetric predicate on a 0/1 variable
+//	xor(<var>)                  exclusive-or of the 0/1 variable
+//	cnf(<var>): <clauses>       singular CNF over the 0/1 variable, with
+//	                            per-process literals "3" or "!3" joined by
+//	                            | within clauses and & between clauses
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	gpd "github.com/distributed-predicates/gpd"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gpddetect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gpddetect", flag.ContinueOnError)
+	trace := fs.String("trace", "-", "trace file (- for stdin)")
+	pred := fs.String("pred", "", "predicate (see package comment)")
+	modality := fs.String("modality", "possibly", "possibly or definitely")
+	strategy := fs.String("strategy", "auto", "singular strategy: auto, receive-ordered, send-ordered, subsets, chains")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *pred == "" {
+		return errors.New("missing -pred")
+	}
+	var r io.Reader = stdin
+	if *trace != "-" {
+		f, err := os.Open(*trace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	c, err := gpd.ReadTrace(r)
+	if err != nil {
+		return fmt.Errorf("read trace: %w", err)
+	}
+	definitely := false
+	switch *modality {
+	case "possibly":
+	case "definitely":
+		definitely = true
+	default:
+		return fmt.Errorf("unknown modality %q", *modality)
+	}
+	return detect(stdout, c, *pred, definitely, *strategy)
+}
+
+func detect(w io.Writer, c *gpd.Computation, pred string, definitely bool, strategy string) error {
+	switch {
+	case strings.HasPrefix(pred, "sum("):
+		name, rel, k, err := parseRelPred(pred, "sum")
+		if err != nil {
+			return err
+		}
+		if definitely {
+			ok, err := gpd.DefinitelySum(c, name, rel, k)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "Definitely(sum(%s) %v %d) = %v\n", name, rel, k, ok)
+			return nil
+		}
+		if rel == gpd.Eq {
+			ok, cut, err := gpd.PossiblySumWitness(c, name, k)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "Possibly(sum(%s) == %d) = %v\n", name, k, ok)
+			if ok {
+				fmt.Fprintf(w, "witness cut: %v\n", cut)
+			}
+			return nil
+		}
+		ok, err := gpd.PossiblySum(c, name, rel, k)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "Possibly(sum(%s) %v %d) = %v\n", name, rel, k, ok)
+		return nil
+
+	case strings.HasPrefix(pred, "count("), strings.HasPrefix(pred, "xor("):
+		var spec gpd.SymmetricSpec
+		var name, desc string
+		if strings.HasPrefix(pred, "xor(") {
+			name = strings.TrimSuffix(strings.TrimPrefix(pred, "xor("), ")")
+			spec = gpd.Xor(c.NumProcs())
+			desc = fmt.Sprintf("xor(%s)", name)
+		} else {
+			var rel gpd.Relop
+			var k int64
+			var err error
+			name, rel, k, err = parseRelPred(pred, "count")
+			if err != nil {
+				return err
+			}
+			spec = gpd.SymmetricFromFunc(c.NumProcs(), func(m int) bool { return rel.Eval(int64(m), k) })
+			desc = fmt.Sprintf("count(%s) %v %d", name, rel, k)
+		}
+		truth := func(e gpd.Event) bool { return c.Var(name, e.ID) != 0 }
+		if definitely {
+			ok, err := gpd.DefinitelySymmetric(c, spec, truth)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "Definitely(%s) = %v\n", desc, ok)
+			return nil
+		}
+		ok, cut, err := gpd.PossiblySymmetric(c, spec, truth)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "Possibly(%s) = %v\n", desc, ok)
+		if ok {
+			fmt.Fprintf(w, "witness cut: %v\n", cut)
+		}
+		return nil
+
+	case strings.HasPrefix(pred, "all("):
+		name := strings.TrimSuffix(strings.TrimPrefix(pred, "all("), ")")
+		locals := make(map[gpd.ProcID]gpd.LocalPredicate, c.NumProcs())
+		for p := 0; p < c.NumProcs(); p++ {
+			locals[gpd.ProcID(p)] = func(e gpd.Event) bool { return c.Var(name, e.ID) != 0 }
+		}
+		if definitely {
+			ok := gpd.DefinitelyConjunctive(c, locals)
+			fmt.Fprintf(w, "Definitely(all(%s)) = %v\n", name, ok)
+			return nil
+		}
+		res := gpd.PossiblyConjunctive(c, locals)
+		fmt.Fprintf(w, "Possibly(all(%s)) = %v\n", name, res.Found)
+		if res.Found {
+			fmt.Fprintf(w, "witness cut: %v\n", res.Cut)
+		}
+		return nil
+
+	case strings.HasPrefix(pred, "inflight"):
+		if definitely {
+			return errors.New("definitely is not supported for inflight predicates")
+		}
+		fields := strings.Fields(strings.TrimPrefix(pred, "inflight"))
+		if len(fields) != 2 {
+			return fmt.Errorf("want %q, got %q", "inflight relop k", pred)
+		}
+		rel, err := gpd.ParseRelop(fields[0])
+		if err != nil {
+			return err
+		}
+		k, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad constant %q", fields[1])
+		}
+		min, max := gpd.InFlightRange(c)
+		if rel == gpd.Eq {
+			ok, cut, err := gpd.PossiblyInFlight(c, k)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "Possibly(inflight == %d) = %v (range [%d,%d])\n", k, ok, min, max)
+			if ok {
+				fmt.Fprintf(w, "witness cut: %v\n", cut)
+			}
+			return nil
+		}
+		var ok bool
+		switch rel {
+		case gpd.Lt:
+			ok = min < k
+		case gpd.Le:
+			ok = min <= k
+		case gpd.Ge:
+			ok = max >= k
+		case gpd.Gt:
+			ok = max > k
+		case gpd.Ne:
+			ok = min != k || max != k
+		}
+		fmt.Fprintf(w, "Possibly(inflight %v %d) = %v (range [%d,%d])\n", rel, k, ok, min, max)
+		return nil
+
+	case strings.HasPrefix(pred, "cnf("):
+		if definitely {
+			return errors.New("definitely is not supported for cnf predicates")
+		}
+		name, p, err := parseCNFPred(pred)
+		if err != nil {
+			return err
+		}
+		strat, err := parseStrategy(strategy)
+		if err != nil {
+			return err
+		}
+		res, err := gpd.PossiblySingular(c, p, gpd.TruthFromVar(c, name), strat)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "Possibly(%s) = %v (strategy %v, %d combination(s))\n",
+			p, res.Found, res.Strategy, res.Combinations)
+		if res.Found {
+			fmt.Fprintf(w, "witness cut: %v\n", res.Cut)
+		}
+		return nil
+	}
+	return fmt.Errorf("cannot parse predicate %q", pred)
+}
+
+// parseRelPred parses "kind(name) relop k".
+func parseRelPred(s, kind string) (string, gpd.Relop, int64, error) {
+	rest := strings.TrimPrefix(s, kind+"(")
+	i := strings.Index(rest, ")")
+	if i < 0 {
+		return "", 0, 0, fmt.Errorf("missing ) in %q", s)
+	}
+	name := rest[:i]
+	fields := strings.Fields(rest[i+1:])
+	if len(fields) != 2 {
+		return "", 0, 0, fmt.Errorf("want %q, got %q", kind+"(v) relop k", s)
+	}
+	rel, err := gpd.ParseRelop(fields[0])
+	if err != nil {
+		return "", 0, 0, err
+	}
+	k, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", 0, 0, fmt.Errorf("bad constant %q", fields[1])
+	}
+	return name, rel, k, nil
+}
+
+// parseCNFPred parses "cnf(name): (0 | !1) & (2)".
+func parseCNFPred(s string) (string, *gpd.SingularPredicate, error) {
+	rest := strings.TrimPrefix(s, "cnf(")
+	i := strings.Index(rest, "):")
+	if i < 0 {
+		return "", nil, fmt.Errorf("want %q, got %q", "cnf(var): clauses", s)
+	}
+	name := rest[:i]
+	body := rest[i+2:]
+	p := &gpd.SingularPredicate{}
+	for _, clause := range strings.Split(body, "&") {
+		clause = strings.TrimSpace(clause)
+		clause = strings.TrimPrefix(clause, "(")
+		clause = strings.TrimSuffix(clause, ")")
+		var cl gpd.SingularClause
+		for _, lit := range strings.Split(clause, "|") {
+			lit = strings.TrimSpace(lit)
+			neg := strings.HasPrefix(lit, "!")
+			lit = strings.TrimPrefix(lit, "!")
+			proc, err := strconv.Atoi(lit)
+			if err != nil {
+				return "", nil, fmt.Errorf("bad literal %q", lit)
+			}
+			cl = append(cl, gpd.SingularLiteral{Proc: gpd.ProcID(proc), Negated: neg})
+		}
+		p.Clauses = append(p.Clauses, cl)
+	}
+	return name, p, nil
+}
+
+func parseStrategy(s string) (gpd.SingularStrategy, error) {
+	switch s {
+	case "auto":
+		return gpd.StrategyAuto, nil
+	case "receive-ordered":
+		return gpd.StrategyReceiveOrdered, nil
+	case "send-ordered":
+		return gpd.StrategySendOrdered, nil
+	case "subsets":
+		return gpd.StrategyProcessSubsets, nil
+	case "chains":
+		return gpd.StrategyChainCover, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", s)
+	}
+}

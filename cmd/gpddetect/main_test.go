@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	gpd "github.com/distributed-predicates/gpd"
+)
+
+// writeRingTrace produces a token-ring trace file and returns its path.
+func writeRingTrace(t *testing.T) string {
+	t.Helper()
+	sim := gpd.NewSimulator(3, gpd.NewTokenRingProcs(4, 2, 1, 3))
+	c, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ring.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := gpd.WriteTrace(f, c); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func detectOut(t *testing.T, args ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String()
+}
+
+func TestSumPredicates(t *testing.T) {
+	trace := writeRingTrace(t)
+	out := detectOut(t, "-trace", trace, "-pred", "sum(tokens) == 2")
+	if !strings.Contains(out, "= true") {
+		t.Errorf("expected detection, got %q", out)
+	}
+	if !strings.Contains(out, "witness cut") {
+		t.Errorf("expected witness, got %q", out)
+	}
+	out = detectOut(t, "-trace", trace, "-pred", "sum(tokens) > 2")
+	if !strings.Contains(out, "= false") {
+		t.Errorf("conservation must hold, got %q", out)
+	}
+	out = detectOut(t, "-trace", trace, "-pred", "sum(tokens) >= 1", "-modality", "definitely")
+	if !strings.Contains(out, "Definitely") {
+		t.Errorf("expected definitely output, got %q", out)
+	}
+}
+
+func TestCountAndXor(t *testing.T) {
+	trace := writeRingTrace(t)
+	out := detectOut(t, "-trace", trace, "-pred", "count(tokens) >= 1")
+	if !strings.Contains(out, "Possibly(count(tokens) >= 1) = true") {
+		t.Errorf("got %q", out)
+	}
+	out = detectOut(t, "-trace", trace, "-pred", "xor(tokens)")
+	if !strings.Contains(out, "Possibly(xor(tokens))") {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestInFlightPredicates(t *testing.T) {
+	trace := writeRingTrace(t)
+	out := detectOut(t, "-trace", trace, "-pred", "inflight == 1")
+	if !strings.Contains(out, "Possibly(inflight == 1) = true") {
+		t.Errorf("got %q", out)
+	}
+	if !strings.Contains(out, "witness cut") {
+		t.Errorf("expected witness, got %q", out)
+	}
+	out = detectOut(t, "-trace", trace, "-pred", "inflight >= 1")
+	if !strings.Contains(out, "= true") {
+		t.Errorf("got %q", out)
+	}
+	out = detectOut(t, "-trace", trace, "-pred", "inflight > 99")
+	if !strings.Contains(out, "= false") {
+		t.Errorf("got %q", out)
+	}
+	for _, bad := range [][]string{
+		{"-trace", trace, "-pred", "inflight == x"},
+		{"-trace", trace, "-pred", "inflight <>"},
+		{"-trace", trace, "-pred", "inflight == 1", "-modality", "definitely"},
+	} {
+		var buf bytes.Buffer
+		if err := run(bad, strings.NewReader(""), &buf); err == nil {
+			t.Errorf("run(%v) should fail", bad)
+		}
+	}
+}
+
+func TestCNFPredicate(t *testing.T) {
+	trace := writeRingTrace(t)
+	out := detectOut(t, "-trace", trace, "-pred", "cnf(tokens): (0 | 1) & (2 | 3)", "-strategy", "chains")
+	if !strings.Contains(out, "Possibly(") {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestStdinTrace(t *testing.T) {
+	sim := gpd.NewSimulator(5, gpd.NewTokenRingProcs(3, 1, 1, 2))
+	c, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gpd.WriteTrace(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-pred", "sum(tokens) == 1"}, &buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "= true") {
+		t.Errorf("got %q", out.String())
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	trace := writeRingTrace(t)
+	for _, args := range [][]string{
+		{"-trace", trace},                              // no pred
+		{"-trace", trace, "-pred", "bogus"},            // bad syntax
+		{"-trace", trace, "-pred", "sum(tokens) <> 1"}, // bad relop
+		{"-trace", trace, "-pred", "sum(tokens) == x"}, // bad constant
+		{"-trace", trace, "-pred", "sum(tokens"},       // missing paren
+		{"-trace", trace, "-pred", "sum(tokens) == 1", "-modality", "never"},
+		{"-trace", trace, "-pred", "cnf(tokens): (a)", "-strategy", "chains"},
+		{"-trace", trace, "-pred", "cnf(tokens): (0)", "-strategy", "warp"},
+		{"-trace", trace, "-pred", "cnf(tokens): (0)", "-modality", "definitely"},
+		{"-trace", "/does/not/exist", "-pred", "sum(tokens) == 1"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, strings.NewReader(""), &out); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestAllPredicate(t *testing.T) {
+	trace := writeRingTrace(t)
+	out := detectOut(t, "-trace", trace, "-pred", "all(tokens)")
+	if !strings.Contains(out, "Possibly(all(tokens))") {
+		t.Errorf("got %q", out)
+	}
+	out = detectOut(t, "-trace", trace, "-pred", "all(tokens)", "-modality", "definitely")
+	if !strings.Contains(out, "Definitely(all(tokens))") {
+		t.Errorf("got %q", out)
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	gpd "github.com/distributed-predicates/gpd"
+)
+
+func genTrace(t *testing.T, args ...string) *gpd.Computation {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	if err := run(args, &out, &errBuf); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	c, err := gpd.ReadTrace(&out)
+	if err != nil {
+		t.Fatalf("output of run(%v) is not a valid trace: %v", args, err)
+	}
+	return c
+}
+
+func TestGenerateAllKinds(t *testing.T) {
+	cases := []struct {
+		args  []string
+		procs int
+	}{
+		{[]string{"-kind", "random", "-procs", "3", "-events", "10", "-seed", "2"}, 3},
+		{[]string{"-kind", "tokenring", "-procs", "4", "-tokens", "2", "-rounds", "2"}, 4},
+		{[]string{"-kind", "mutex", "-procs", "3", "-rounds", "2"}, 3},
+		{[]string{"-kind", "voting", "-procs", "5", "-rounds", "2"}, 5},
+		{[]string{"-kind", "gossip", "-procs", "3", "-events", "8"}, 3},
+	}
+	for _, tc := range cases {
+		c := genTrace(t, tc.args...)
+		if c.NumProcs() != tc.procs {
+			t.Errorf("%v: procs = %d, want %d", tc.args, c.NumProcs(), tc.procs)
+		}
+		if c.NumEvents() <= c.NumProcs() {
+			t.Errorf("%v: no non-initial events", tc.args)
+		}
+	}
+}
+
+func TestRandomTraceHasVariables(t *testing.T) {
+	c := genTrace(t, "-kind", "random", "-procs", "2", "-events", "5")
+	names := strings.Join(c.VarNames(), ",")
+	if !strings.Contains(names, "level") || !strings.Contains(names, "flag") {
+		t.Errorf("variables = %q, want level and flag", names)
+	}
+}
+
+func TestUnknownKind(t *testing.T) {
+	if err := run([]string{"-kind", "nope"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+}

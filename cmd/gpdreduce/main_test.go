@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/distributed-predicates/gpd/internal/computation"
+)
+
+func TestSatisfiableFormula(t *testing.T) {
+	in := strings.NewReader("p cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n")
+	var out bytes.Buffer
+	if err := run(nil, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"Possibly(singular 2-CNF) = true",
+		"agreement = true",
+		"original formula satisfied: true",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output lacks %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestUnsatisfiableFormula(t *testing.T) {
+	in := strings.NewReader("1 0\n-1 0\n")
+	var out bytes.Buffer
+	if err := run(nil, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Possibly(singular 2-CNF) = false") {
+		t.Errorf("expected false:\n%s", s)
+	}
+	if !strings.Contains(s, "agreement = true") {
+		t.Errorf("DPLL must agree:\n%s", s)
+	}
+}
+
+func TestThreeCNFGetsRewritten(t *testing.T) {
+	// All-positive triple requires the non-monotone rewrite.
+	in := strings.NewReader("1 2 3 0\n")
+	var out bytes.Buffer
+	if err := run(nil, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "non-monotone 3-CNF:") {
+		t.Errorf("expected rewrite notice:\n%s", out.String())
+	}
+}
+
+func TestTraceDump(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	in := strings.NewReader("1 2 0\n")
+	var out bytes.Buffer
+	if err := run([]string{"-trace", path}, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	c, err := computation.ReadTrace(f)
+	if err != nil {
+		t.Fatalf("dumped trace invalid: %v", err)
+	}
+	if c.NumProcs() != 2 {
+		t.Errorf("procs = %d, want 2 (one per literal)", c.NumProcs())
+	}
+}
+
+func TestBadDIMACS(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader("p cnf x y\n"), &out); err == nil {
+		t.Fatal("bad DIMACS must error")
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-f", "/does/not/exist.cnf"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

@@ -1,0 +1,236 @@
+package gpd
+
+import (
+	"github.com/distributed-predicates/gpd/internal/conjunctive"
+	"github.com/distributed-predicates/gpd/internal/core/relsum"
+	"github.com/distributed-predicates/gpd/internal/core/singular"
+	"github.com/distributed-predicates/gpd/internal/core/symmetric"
+)
+
+// LocalPredicate evaluates a process-local predicate at the state
+// following an event.
+type LocalPredicate = conjunctive.LocalPredicate
+
+// ConjunctiveResult is the outcome of conjunctive detection.
+type ConjunctiveResult = conjunctive.Result
+
+// PossiblyConjunctive detects Possibly(l1 and ... and lm) for local
+// predicates, one per involved process, with the Garg–Waldecker CPDHB
+// algorithm — linear in the number of true events per process pair. It
+// returns the witness events and cut when the conjunction holds.
+func PossiblyConjunctive(c *Computation, locals map[ProcID]LocalPredicate) ConjunctiveResult {
+	return conjunctive.Detect(c, locals)
+}
+
+// DefinitelyConjunctive reports whether EVERY run of the computation
+// passes through a global state satisfying the conjunction, using Garg &
+// Waldecker's interval-overlap characterization: a selection of one true
+// interval per process whose every start happened-before every other's
+// end. Polynomial in the number of true intervals; validated against the
+// exhaustive oracle on thousands of random computations.
+func DefinitelyConjunctive(c *Computation, locals map[ProcID]LocalPredicate) bool {
+	return conjunctive.DetectDefinitely(c, locals)
+}
+
+// Singular k-CNF predicates (the paper's central objects).
+type (
+	// SingularPredicate is a CNF predicate over boolean variables, one
+	// per process, with no process shared between clauses.
+	SingularPredicate = singular.Predicate
+	// SingularClause is one disjunction of a singular predicate.
+	SingularClause = singular.Clause
+	// SingularLiteral is one (possibly negated) per-process variable.
+	SingularLiteral = singular.Literal
+	// Truth supplies the boolean variable values per event.
+	Truth = singular.Truth
+	// SingularStrategy selects the singular detection algorithm.
+	SingularStrategy = singular.Strategy
+	// SingularResult reports the outcome, witness and work counters.
+	SingularResult = singular.Result
+)
+
+// Singular detection strategies.
+const (
+	// StrategyAuto tries receive-ordered, then send-ordered, then chain
+	// covers.
+	StrategyAuto = singular.Auto
+	// StrategyReceiveOrdered is the polynomial Section 3.2 algorithm;
+	// it fails unless receives are totally ordered per meta-process.
+	StrategyReceiveOrdered = singular.ReceiveOrdered
+	// StrategySendOrdered is its time-reversed dual.
+	StrategySendOrdered = singular.SendOrdered
+	// StrategyProcessSubsets is general algorithm A (<= k^g CPDHB runs).
+	StrategyProcessSubsets = singular.ProcessSubsets
+	// StrategyChainCover is general algorithm B (<= c^g CPDHB runs).
+	StrategyChainCover = singular.ChainCover
+)
+
+// Singular detection errors.
+var (
+	// ErrNotSingular reports a predicate sharing a process between
+	// clauses.
+	ErrNotSingular = singular.ErrNotSingular
+	// ErrNotOrdered reports a computation outside the polynomial
+	// special cases.
+	ErrNotOrdered = singular.ErrNotOrdered
+	// ErrNotUnitStep reports a variable changing by more than one per
+	// event, outside the scope of the polynomial equality detectors.
+	ErrNotUnitStep = relsum.ErrNotUnitStep
+)
+
+// PossiblySingular detects Possibly(p) for a singular CNF predicate using
+// the chosen strategy. Detection is NP-complete in general (Theorem 1 of
+// the paper); StrategyReceiveOrdered and StrategySendOrdered are
+// polynomial when applicable, and StrategyChainCover is the best general
+// algorithm.
+func PossiblySingular(c *Computation, p *SingularPredicate, truth Truth, s SingularStrategy) (SingularResult, error) {
+	return singular.Detect(c, p, truth, s)
+}
+
+// DefinitelySingular reports whether every run of the computation passes
+// through a cut satisfying the singular predicate. No polynomial algorithm
+// is known for this modality (the paper treats Possibly); this implements
+// it by lattice-region reachability, exponential in the worst case.
+func DefinitelySingular(c *Computation, p *SingularPredicate, truth Truth) (bool, error) {
+	if err := p.Validate(c); err != nil {
+		return false, err
+	}
+	return DefinitelyGeneric(c, func(cc *Computation, k Cut) bool {
+		return p.Holds(cc, truth, k)
+	}), nil
+}
+
+// TruthFromTables adapts per-process boolean tables (indexed by local
+// event index) into a Truth function.
+func TruthFromTables(tables [][]bool) Truth { return singular.TruthFromTables(tables) }
+
+// TruthFromVar reads a named 0/1 variable table of the computation.
+func TruthFromVar(c *Computation, name string) Truth { return singular.TruthFromVar(c, name) }
+
+// Relop is a relational operator for sum predicates.
+type Relop = relsum.Relop
+
+// Relational operators.
+const (
+	Lt = relsum.Lt
+	Le = relsum.Le
+	Eq = relsum.Eq
+	Ge = relsum.Ge
+	Gt = relsum.Gt
+	Ne = relsum.Ne
+)
+
+// ParseRelop parses "<", "<=", "==", ">=", ">", "!=".
+func ParseRelop(s string) (Relop, error) { return relsum.ParseRelop(s) }
+
+// SumRange returns the exact minimum and maximum over all consistent cuts
+// of the sum of the named per-process variable, in polynomial time via a
+// max-weight closure (min-cut) computation. No step-size assumption.
+func SumRange(c *Computation, name string) (min, max int64) {
+	return relsum.SumRange(c, name)
+}
+
+// PossiblySum detects Possibly(sum(name) relop k). Order operators need no
+// assumptions; equality requires the variable to change by at most one per
+// event (Theorem 7(1) of the paper; ErrNotUnitStep otherwise — the
+// arbitrary-increment problem is NP-complete by Theorem 3).
+func PossiblySum(c *Computation, name string, r Relop, k int64) (bool, error) {
+	return relsum.Possibly(c, name, r, k)
+}
+
+// PossiblySumWitness is PossiblySum for equality, additionally returning a
+// consistent cut at which the sum is exactly k (constructed in polynomial
+// time from the intermediate-value property of lattice paths, Theorem 4).
+func PossiblySumWitness(c *Computation, name string, k int64) (bool, Cut, error) {
+	return relsum.PossiblyEqWitness(c, name, k)
+}
+
+// DefinitelySum detects Definitely(sum(name) relop k): does every run pass
+// through a cut satisfying it? Equality uses the Theorem 7(2)
+// decomposition into Definitely(<=) and Definitely(>=); the primitives are
+// decided by lattice-region reachability (worst-case exponential).
+func DefinitelySum(c *Computation, name string, r Relop, k int64) (bool, error) {
+	return relsum.Definitely(c, name, r, k)
+}
+
+// ValidateUnitStep checks that the named variable changes by at most one
+// at every event.
+func ValidateUnitStep(c *Computation, name string) error {
+	return relsum.ValidateUnitStep(c, name)
+}
+
+// EventWeight assigns a per-event change to a global quantity; the
+// quantity at a cut is a base value plus the sum over the cut's
+// non-initial events. Variable sums and channel occupancy are both
+// instances, and both enjoy the same polynomial min/max machinery.
+type EventWeight = relsum.Weight
+
+// WeightedRange returns the exact minimum and maximum over all consistent
+// cuts of base + the summed event weights, in polynomial time.
+func WeightedRange(c *Computation, base int64, w EventWeight) (min, max int64) {
+	return relsum.WeightedRange(c, base, w)
+}
+
+// PossiblyWeighted decides Possibly(quantity relop k) for an ideal-sum
+// quantity; equality requires unit weights (ErrNotUnitStep otherwise).
+func PossiblyWeighted(c *Computation, base int64, w EventWeight, r Relop, k int64) (bool, error) {
+	return relsum.PossiblyWeighted(c, base, w, r, k)
+}
+
+// DefinitelyWeighted decides Definitely(quantity relop k) for an
+// ideal-sum quantity by region reachability (worst-case exponential;
+// equality requires unit weights).
+func DefinitelyWeighted(c *Computation, base int64, w EventWeight, r Relop, k int64) (bool, error) {
+	return relsum.DefinitelyWeighted(c, base, w, r, k)
+}
+
+// InFlightRange returns the minimum and maximum number of messages in
+// flight (sent but not received) over all consistent cuts — channel
+// occupancy bounds, including quiescence (min) and the buffer requirement
+// (max).
+func InFlightRange(c *Computation) (min, max int64) {
+	return relsum.InFlightRange(c)
+}
+
+// PossiblyInFlight reports whether some consistent cut has exactly k
+// messages in flight, with a witness cut. Requires every event to carry
+// at most one message.
+func PossiblyInFlight(c *Computation, k int64) (bool, Cut, error) {
+	return relsum.PossiblyQuiescent(c, k)
+}
+
+// SymmetricSpec is a symmetric predicate over per-process booleans,
+// specified by the set of true-counts at which it holds.
+type SymmetricSpec = symmetric.Spec
+
+// Symmetric predicate builders (Section 4.3 of the paper).
+var (
+	// SymmetricFromFunc builds a spec from a predicate on the true-count.
+	SymmetricFromFunc = symmetric.FromFunc
+	// Xor is the exclusive-or of the local predicates (odd parity).
+	Xor = symmetric.Xor
+	// Parity selects odd or even parity.
+	Parity = symmetric.Parity
+	// NoSimpleMajority holds when neither side has a strict majority.
+	NoSimpleMajority = symmetric.NoSimpleMajority
+	// NoTwoThirdsMajority holds when neither side reaches two thirds.
+	NoTwoThirdsMajority = symmetric.NoTwoThirdsMajority
+	// ExactlyK holds when exactly k variables are true.
+	ExactlyK = symmetric.ExactlyK
+	// NotAllEqual holds unless all variables agree.
+	NotAllEqual = symmetric.NotAllEqual
+)
+
+// PossiblySymmetric detects Possibly(spec) for a symmetric predicate in
+// polynomial time by decomposing it into sum-equality detections (the
+// paper's corollary). truth supplies each process's boolean per event.
+func PossiblySymmetric(c *Computation, spec SymmetricSpec, truth func(Event) bool) (bool, Cut, error) {
+	return symmetric.Possibly(c, spec, truth)
+}
+
+// DefinitelySymmetric detects Definitely(spec); Definitely does not
+// distribute over disjunction, so this uses lattice-region reachability
+// (worst-case exponential).
+func DefinitelySymmetric(c *Computation, spec SymmetricSpec, truth func(Event) bool) (bool, error) {
+	return symmetric.Definitely(c, spec, truth)
+}

@@ -1,0 +1,47 @@
+// Package gpd detects global predicates in distributed computations.
+//
+// It is a faithful, production-oriented implementation of Mittal & Garg,
+// "On Detecting Global Predicates in Distributed Computations" (ICDCS
+// 2001), together with every substrate the paper builds on: the
+// happened-before computation model with vector clocks and consistent
+// cuts, the Cooper–Marzullo global-state lattice, Garg–Waldecker
+// conjunctive predicate detection (offline and online), max-flow based
+// relational predicate evaluation, minimum chain covers, and the paper's
+// NP-hardness constructions with an accompanying SAT and subset-sum
+// toolbox.
+//
+// # The problem
+//
+// An asynchronous distributed execution only determines a partial order on
+// events, so the system passes through one of exponentially many possible
+// global states. Possibly(phi) asks whether SOME consistent global state
+// (cut) satisfies phi — the right question when hunting violations such as
+// "two processes in the critical section". Definitely(phi) asks whether
+// EVERY execution consistent with the observation passes through phi.
+//
+// # What this library provides
+//
+//   - Building and (de)serializing computations: New, ReadTrace, WriteTrace.
+//   - Conjunctive predicates (one local predicate per process):
+//     PossiblyConjunctive, and the online Monitor for live systems.
+//   - Singular k-CNF predicates (Sections 3.1–3.3 of the paper):
+//     PossiblySingular with the polynomial receive-/send-ordered
+//     algorithms and the general-case process-subset and chain-cover
+//     algorithms. Detection is NP-complete in general (Theorem 1); the
+//     hardness construction itself ships in the reduction toolbox used by
+//     cmd/gpdreduce.
+//   - Relational sums x1+...+xn relop k (Section 4): SumRange,
+//     PossiblySum, PossiblySumWitness, DefinitelySum. Possibly(S = k) is
+//     polynomial for unit-step variables and NP-complete otherwise
+//     (Theorem 3).
+//   - Symmetric boolean predicates (Section 4.3): PossiblySymmetric with
+//     builders Xor, NoSimpleMajority, ExactlyK, NotAllEqual, ...
+//   - Exhaustive oracles PossiblyGeneric and DefinitelyGeneric for
+//     arbitrary predicates (exponential; useful for testing and small
+//     computations).
+//   - A deterministic message-passing simulator (NewSimulator and the
+//     protocol constructors) to generate realistic traces.
+//
+// See the examples directory for runnable walkthroughs and EXPERIMENTS.md
+// for the reproduction of the paper's claims.
+package gpd

@@ -1,0 +1,142 @@
+package gpd_test
+
+// Runnable godoc examples for the main public entry points.
+
+import (
+	"fmt"
+
+	gpd "github.com/distributed-predicates/gpd"
+)
+
+// twoFlags builds the running two-process example: p0 raises a flag and
+// lowers it before telling p1, which then raises its own.
+func twoFlags() (*gpd.Computation, gpd.ProcID, gpd.ProcID) {
+	c := gpd.New()
+	p0 := c.AddProcess()
+	p1 := c.AddProcess()
+	a := c.AddInternal(p0)  // flag0 up
+	a2 := c.AddInternal(p0) // flag0 down again
+	b := c.AddInternal(p1)  // flag1 up, after the message
+	if err := c.AddMessage(a2, b); err != nil {
+		panic(err)
+	}
+	c.SetVar("flag", a, 1)
+	c.SetVar("flag", b, 1)
+	if err := c.Seal(); err != nil {
+		panic(err)
+	}
+	return c, p0, p1
+}
+
+func ExamplePossiblyConjunctive() {
+	c, p0, p1 := twoFlags()
+	res := gpd.PossiblyConjunctive(c, map[gpd.ProcID]gpd.LocalPredicate{
+		p0: func(e gpd.Event) bool { return c.Var("flag", e.ID) != 0 },
+		p1: func(e gpd.Event) bool { return c.Var("flag", e.ID) != 0 },
+	})
+	fmt.Println(res.Found)
+	// Output: false
+}
+
+func ExampleSumRange() {
+	c, _, _ := twoFlags()
+	min, max := gpd.SumRange(c, "flag")
+	fmt.Println(min, max)
+	// Output: 0 1
+}
+
+func ExamplePossiblySum() {
+	c, _, _ := twoFlags()
+	ok, err := gpd.PossiblySum(c, "flag", gpd.Eq, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ok)
+	// Output: true
+}
+
+func ExamplePossiblySingular() {
+	c, p0, p1 := twoFlags()
+	pred := &gpd.SingularPredicate{Clauses: []gpd.SingularClause{
+		{{Proc: p0}, {Proc: p1}}, // flag0 OR flag1
+	}}
+	res, err := gpd.PossiblySingular(c, pred, gpd.TruthFromVar(c, "flag"), gpd.StrategyAuto)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Found, res.Strategy)
+	// Output: true receive-ordered
+}
+
+func ExamplePossiblySymmetric() {
+	c, _, _ := twoFlags()
+	truth := func(e gpd.Event) bool { return c.Var("flag", e.ID) != 0 }
+	ok, _, err := gpd.PossiblySymmetric(c, gpd.Xor(2), truth)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ok)
+	// Output: true
+}
+
+func ExampleDefinitelySum() {
+	c, _, _ := twoFlags()
+	// Every run raises exactly one flag at a time at some point.
+	ok, err := gpd.DefinitelySum(c, "flag", gpd.Eq, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ok)
+	// Output: true
+}
+
+func ExampleInFlightRange() {
+	c, _, _ := twoFlags()
+	min, max := gpd.InFlightRange(c)
+	fmt.Println(min, max)
+	// Output: 0 1
+}
+
+func ExampleComputeSlice() {
+	c, p0, p1 := twoFlags()
+	flag := func(e gpd.Event) bool { return c.Var("flag", e.ID) != 0 }
+	o := gpd.ConjunctiveSliceOracle(map[gpd.ProcID]func(gpd.Event) bool{p0: flag, p1: flag})
+	_, err := gpd.ComputeSlice(c, o)
+	fmt.Println(err)
+	// Output: slicing: no consistent cut satisfies the predicate
+}
+
+func ExampleNewSimulator() {
+	sim := gpd.NewSimulator(42, gpd.NewTokenRingProcs(4, 2, 1, 3))
+	c, err := sim.Run()
+	if err != nil {
+		panic(err)
+	}
+	// Token conservation at the final cut.
+	fmt.Println(c.SumVar(gpd.VarTokens, c.FinalCut()))
+	// Output: 2
+}
+
+func ExampleNewMonitor() {
+	m := gpd.NewMonitor(2, []int{0, 1})
+	defer m.Shutdown()
+	m.Probe(0).Internal(true)
+	m.Probe(1).Internal(true)
+	<-m.Detected()
+	fmt.Println(len(m.Witness()))
+	// Output: 2
+}
+
+func ExampleCountCuts() {
+	c := gpd.New()
+	p0 := c.AddProcess()
+	p1 := c.AddProcess()
+	c.AddInternal(p0)
+	c.AddInternal(p1)
+	if err := c.Seal(); err != nil {
+		panic(err)
+	}
+	// Two independent events: a 2x2 grid of consistent cuts.
+	fmt.Println(gpd.CountCuts(c))
+	// Output: 4
+}

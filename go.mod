@@ -1,0 +1,3 @@
+module github.com/distributed-predicates/gpd
+
+go 1.22

@@ -1,0 +1,241 @@
+package gpd_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	gpd "github.com/distributed-predicates/gpd"
+)
+
+// buildDebugScenario assembles the two-process computation used across the
+// public API tests: p0 flips a flag at event a; p1 flips at event b after a
+// message from a third event.
+func buildDebugScenario(t *testing.T) (*gpd.Computation, gpd.EventID, gpd.EventID) {
+	t.Helper()
+	c := gpd.New()
+	p0 := c.AddProcess()
+	p1 := c.AddProcess()
+	a := c.AddInternal(p0)
+	a2 := c.AddInternal(p0)
+	b := c.AddInternal(p1)
+	if err := c.AddMessage(a2, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	return c, a, b
+}
+
+func TestPossiblyConjunctivePublic(t *testing.T) {
+	c, a, b := buildDebugScenario(t)
+	res := gpd.PossiblyConjunctive(c, map[gpd.ProcID]gpd.LocalPredicate{
+		0: func(e gpd.Event) bool { return e.ID == a },
+		1: func(e gpd.Event) bool { return e.ID == b },
+	})
+	if res.Found {
+		t.Fatal("a happened-before b through a2: conjunction must not hold")
+	}
+	res2 := gpd.PossiblyConjunctive(c, map[gpd.ProcID]gpd.LocalPredicate{
+		0: func(e gpd.Event) bool { return e.ID == a },
+		1: func(e gpd.Event) bool { return e.IsInitial() },
+	})
+	if !res2.Found {
+		t.Fatal("a is consistent with p1's initial state")
+	}
+}
+
+func TestPossiblySingularPublic(t *testing.T) {
+	c, a, b := buildDebugScenario(t)
+	pred := &gpd.SingularPredicate{Clauses: []gpd.SingularClause{
+		{{Proc: 0}, {Proc: 1}},
+	}}
+	truth := func(e gpd.Event) bool { return e.ID == a || e.ID == b }
+	res, err := gpd.PossiblySingular(c, pred, truth, gpd.StrategyAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("disjunction (x0 | x1) holds at the cut through a")
+	}
+}
+
+func TestSumAPIsPublic(t *testing.T) {
+	c := gpd.New()
+	p0 := c.AddProcess()
+	p1 := c.AddProcess()
+	e0 := c.AddInternal(p0)
+	e1 := c.AddInternal(p1)
+	c.SetVar("x", e0, 1)
+	c.SetVar("x", e1, 1)
+	if err := c.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	min, max := gpd.SumRange(c, "x")
+	if min != 0 || max != 2 {
+		t.Fatalf("SumRange = [%d,%d], want [0,2]", min, max)
+	}
+	ok, err := gpd.PossiblySum(c, "x", gpd.Eq, 1)
+	if err != nil || !ok {
+		t.Fatalf("PossiblySum(=1) = %v, %v", ok, err)
+	}
+	found, cut, err := gpd.PossiblySumWitness(c, "x", 1)
+	if err != nil || !found {
+		t.Fatalf("PossiblySumWitness = %v, %v", found, err)
+	}
+	if got := c.SumVar("x", cut); got != 1 {
+		t.Fatalf("witness sum = %d", got)
+	}
+	def, err := gpd.DefinitelySum(c, "x", gpd.Eq, 1)
+	if err != nil || !def {
+		t.Fatalf("DefinitelySum(=1) = %v, %v (every run passes 0->1->2)", def, err)
+	}
+	if err := gpd.ValidateUnitStep(c, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gpd.ParseRelop(">="); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnitStepErrorSurfaced(t *testing.T) {
+	c := gpd.New()
+	p := c.AddProcess()
+	e := c.AddInternal(p)
+	c.SetVar("x", e, 10)
+	if err := c.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gpd.PossiblySum(c, "x", gpd.Eq, 5); !errors.Is(err, gpd.ErrNotUnitStep) {
+		t.Fatalf("err = %v, want ErrNotUnitStep", err)
+	}
+}
+
+func TestSymmetricPublic(t *testing.T) {
+	c, a, b := buildDebugScenario(t)
+	truth := func(e gpd.Event) bool { return e.ID == a || e.ID == b }
+	ok, cut, err := gpd.PossiblySymmetric(c, gpd.Xor(2), truth)
+	if err != nil || !ok {
+		t.Fatalf("PossiblySymmetric(Xor) = %v, %v", ok, err)
+	}
+	if cut == nil {
+		t.Fatal("expected witness cut")
+	}
+	def, err := gpd.DefinitelySymmetric(c, gpd.Xor(2), truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !def {
+		t.Fatal("the flips are ordered, so every run passes through count=1")
+	}
+}
+
+func TestGenericOraclesPublic(t *testing.T) {
+	c, a, _ := buildDebugScenario(t)
+	ok, cut := gpd.PossiblyGeneric(c, func(cc *gpd.Computation, k gpd.Cut) bool {
+		return k.PassesThrough(cc.Event(a))
+	})
+	if !ok || !cut.PassesThrough(c.Event(a)) {
+		t.Fatal("generic possibly failed")
+	}
+	if !gpd.DefinitelyGeneric(c, func(cc *gpd.Computation, k gpd.Cut) bool {
+		return k.Size() == 1
+	}) {
+		t.Fatal("every run passes through level 1")
+	}
+	if n := gpd.CountCuts(c); n <= 0 {
+		t.Fatalf("CountCuts = %d", n)
+	}
+}
+
+func TestSimulatorPublic(t *testing.T) {
+	sim := gpd.NewSimulator(1, gpd.NewTokenRingProcs(3, 1, 1, 2))
+	c, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _, err := gpd.PossiblySymmetric(c,
+		gpd.ExactlyK(3, 1),
+		func(e gpd.Event) bool { return c.Var(gpd.VarTokens, e.ID) > 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("some cut must show exactly one token holder")
+	}
+}
+
+func TestMonitorPublic(t *testing.T) {
+	m := gpd.NewMonitor(2, []int{0, 1})
+	defer m.Shutdown()
+	m.Probe(0).Internal(true)
+	m.Probe(1).Internal(true)
+	<-m.Detected()
+	if len(m.Witness()) != 2 {
+		t.Fatal("expected a two-process witness")
+	}
+}
+
+func TestTraceRoundTripPublic(t *testing.T) {
+	c, a, _ := buildDebugScenario(t)
+	var buf bytes.Buffer
+	if err := gpd.WriteTrace(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := gpd.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEvents() != c.NumEvents() {
+		t.Fatal("trace round trip lost events")
+	}
+	_ = a
+}
+
+func TestDefinitelySingularPublic(t *testing.T) {
+	c, a, b := buildDebugScenario(t)
+	pred := &gpd.SingularPredicate{Clauses: []gpd.SingularClause{
+		{{Proc: 0}, {Proc: 1}},
+	}}
+	truth := func(e gpd.Event) bool { return e.ID == a || e.ID == b }
+	// Every run passes through a (p0's first event), where the clause holds.
+	ok, err := gpd.DefinitelySingular(c, pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("the disjunction holds on every run")
+	}
+	// Validation errors surface.
+	bad := &gpd.SingularPredicate{Clauses: []gpd.SingularClause{{{Proc: 0}}, {{Proc: 0}}}}
+	if _, err := gpd.DefinitelySingular(c, bad, truth); err == nil {
+		t.Fatal("non-singular predicate must be rejected")
+	}
+}
+
+func TestDefinitelyConjunctivePublic(t *testing.T) {
+	// Two processes that become true and stay true: definite.
+	c := gpd.New()
+	p0 := c.AddProcess()
+	p1 := c.AddProcess()
+	a := c.AddInternal(p0)
+	b := c.AddInternal(p1)
+	if err := c.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	stable := map[gpd.ProcID]gpd.LocalPredicate{
+		p0: func(e gpd.Event) bool { return e.ID == a },
+		p1: func(e gpd.Event) bool { return e.ID == b },
+	}
+	if !gpd.DefinitelyConjunctive(c, stable) {
+		t.Fatal("stable conjunction must be definite")
+	}
+	// A conjunct that is never true cannot be definite.
+	never := map[gpd.ProcID]gpd.LocalPredicate{
+		p0: func(gpd.Event) bool { return false },
+	}
+	if gpd.DefinitelyConjunctive(c, never) {
+		t.Fatal("never-true conjunct cannot be definite")
+	}
+}

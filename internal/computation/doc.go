@@ -1,0 +1,18 @@
+// Package computation implements the model of a distributed computation used
+// throughout the library: a finite set of processes, each executing a totally
+// ordered sequence of events, together with an irreflexive partial order on
+// the events that extends the per-process orders (Lamport's happened-before
+// relation when the only cross-process edges are messages).
+//
+// Following Mittal & Garg (ICDCS 2001, Section 2), every process begins with
+// a fictitious initial event that is contained in every cut, and a cut is a
+// downward-closed choice of a prefix of every process. A cut is consistent
+// iff it is closed under the partial order. Two events are consistent iff
+// some consistent cut passes through both of them; they are independent iff
+// they are incomparable under the partial order.
+//
+// The package provides construction (processes, events, messages, and
+// additional order edges for extended causality models), validation
+// (acyclicity), vector-clock timestamping for O(1) precedence tests, cut
+// arithmetic on frontier vectors, and JSON serialization of traces.
+package computation

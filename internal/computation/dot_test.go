@@ -1,0 +1,68 @@
+package computation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOTBasic(t *testing.T) {
+	c := New()
+	p0 := c.AddProcess()
+	p1 := c.AddProcess()
+	a := c.AddInternal(p0)
+	b := c.AddInternal(p1)
+	if err := c.AddMessage(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddEdge(a, c.AddInternal(p1)); err != nil {
+		t.Fatal(err)
+	}
+	c.SetLabel(a, "send!")
+	c.SetVar("x", a, 7)
+	c.MustSeal()
+	var buf bytes.Buffer
+	err := WriteDOT(&buf, c, DOTOptions{
+		Highlight:  Cut{1, 1},
+		TrueEvents: func(e Event) bool { return e.ID == b },
+		ShowVars:   []string{"x"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph computation",
+		"cluster_p0",
+		"cluster_p1",
+		"style=dashed",   // message
+		"style=dotted",   // extra edge
+		"peripheries=2",  // true event
+		"fillcolor=gold", // highlighted frontier
+		"send!",          // label
+		"x=7",            // variable annotation
+		"shape=square",   // initial events
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output lacks %q", want)
+		}
+	}
+	// Balanced braces.
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Error("unbalanced braces in DOT output")
+	}
+}
+
+func TestWriteDOTNoOptions(t *testing.T) {
+	c := New()
+	p := c.AddProcess()
+	c.AddInternal(p)
+	c.MustSeal()
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, c, DOTOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "e0 -> e1") {
+		t.Errorf("missing local order edge:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,54 @@
+package computation
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceDecode hardens the trace decoder against malformed input: it
+// must either reject the document or produce a computation that seals and
+// round-trips stably. Run with `go test -fuzz=FuzzTraceDecode` for a real
+// fuzzing session; the seeds below run as regular tests.
+func FuzzTraceDecode(f *testing.F) {
+	// Valid seed documents.
+	c := New()
+	p0 := c.AddProcess()
+	p1 := c.AddProcess()
+	a := c.AddInternal(p0)
+	b := c.AddInternal(p1)
+	_ = c.AddMessage(a, b)
+	c.SetLabel(a, "x")
+	c.SetVar("v", a, 3)
+	var buf bytes.Buffer
+	_ = WriteTrace(&buf, c)
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"events":[0,1,0,1],"msgs":[[2,3]]}`))
+	// Malformed seeds.
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"events":[5]}`))
+	f.Add([]byte(`{"events":[0,0],"msgs":[[9,9]]}`))
+	f.Add([]byte(`{"events":[0,1],"edges":[[1,0]]}`))
+	f.Add([]byte(`{"events":[0,0,0],"msgs":[[1,2],[2,1]]}`)) // cyclic
+	f.Add([]byte(`{"events":[0],"labels":{"x":"y"}}`))
+	f.Add([]byte(`{"events":[0,0],"vars":{"v":[1,2,3,4,5]}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine
+		}
+		// Accepted documents must be stable under re-encoding.
+		var out bytes.Buffer
+		if err := WriteTrace(&out, got); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := ReadTrace(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if again.NumEvents() != got.NumEvents() || again.NumProcs() != got.NumProcs() {
+			t.Fatalf("round trip changed shape: %d/%d -> %d/%d",
+				got.NumProcs(), got.NumEvents(), again.NumProcs(), again.NumEvents())
+		}
+	})
+}

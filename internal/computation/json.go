@@ -1,0 +1,132 @@
+package computation
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// traceJSON is the on-disk schema of a computation. The event list stores
+// the process of every event in event-id order (the first event of each
+// process being its initial event), so ids survive a round trip even when
+// processes and events were created interleaved; kinds are recovered from
+// the message list, so only labels and variables are stored explicitly.
+type traceJSON struct {
+	// Events[id] is the process of the event with that id.
+	Events []int `json:"events"`
+	// Msgs lists messages as [send, receive] event-id pairs.
+	Msgs [][2]int `json:"msgs,omitempty"`
+	// Edges lists extra order edges as [from, to] event-id pairs.
+	Edges [][2]int `json:"edges,omitempty"`
+	// Labels maps event ids (as decimal strings, a JSON restriction) to
+	// labels.
+	Labels map[string]string `json:"labels,omitempty"`
+	// Vars maps variable names to dense per-event value arrays.
+	Vars map[string][]int64 `json:"vars,omitempty"`
+}
+
+// MarshalJSON encodes the computation as a compact trace document.
+func (c *Computation) MarshalJSON() ([]byte, error) {
+	t := traceJSON{Events: make([]int, len(c.events))}
+	for id, e := range c.events {
+		t.Events[id] = int(e.Proc)
+	}
+	for _, m := range c.msgs {
+		t.Msgs = append(t.Msgs, [2]int{int(m.Send), int(m.Receive)})
+	}
+	for _, e := range c.edges {
+		t.Edges = append(t.Edges, [2]int{int(e.From), int(e.To)})
+	}
+	for _, e := range c.events {
+		if e.Label != "" {
+			if t.Labels == nil {
+				t.Labels = make(map[string]string)
+			}
+			t.Labels[fmt.Sprint(int(e.ID))] = e.Label
+		}
+	}
+	if len(c.vars) > 0 {
+		t.Vars = make(map[string][]int64, len(c.vars))
+		names := make([]string, 0, len(c.vars))
+		for name := range c.vars {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			tab := make([]int64, len(c.events))
+			copy(tab, c.vars[name])
+			t.Vars[name] = tab
+		}
+	}
+	return json.Marshal(t)
+}
+
+// UnmarshalJSON decodes a trace document produced by MarshalJSON. The
+// resulting computation is unsealed; call Seal before order queries.
+func (c *Computation) UnmarshalJSON(data []byte) error {
+	var t traceJSON
+	if err := json.Unmarshal(data, &t); err != nil {
+		return fmt.Errorf("computation: decode trace: %w", err)
+	}
+	out := New()
+	for id, p := range t.Events {
+		switch {
+		case p == out.NumProcs():
+			out.AddProcess()
+		case p >= 0 && p < out.NumProcs():
+			out.AddInternal(ProcID(p))
+		default:
+			return fmt.Errorf("computation: decode trace: event %d has process %d before process %d exists",
+				id, p, p)
+		}
+	}
+	for _, m := range t.Msgs {
+		if err := out.AddMessage(EventID(m[0]), EventID(m[1])); err != nil {
+			return fmt.Errorf("computation: decode trace: %w", err)
+		}
+	}
+	for _, e := range t.Edges {
+		if err := out.AddEdge(EventID(e[0]), EventID(e[1])); err != nil {
+			return fmt.Errorf("computation: decode trace: %w", err)
+		}
+	}
+	for key, label := range t.Labels {
+		var id int
+		if _, err := fmt.Sscanf(key, "%d", &id); err != nil {
+			return fmt.Errorf("computation: decode trace: bad label key %q", key)
+		}
+		if id < 0 || id >= len(out.events) {
+			return fmt.Errorf("computation: decode trace: label key %d out of range", id)
+		}
+		out.SetLabel(EventID(id), label)
+	}
+	for name, tab := range t.Vars {
+		for id, v := range tab {
+			if v != 0 {
+				out.SetVar(name, EventID(id), v)
+			}
+		}
+	}
+	*c = *out
+	return nil
+}
+
+// WriteTrace writes the computation to w as JSON.
+func WriteTrace(w io.Writer, c *Computation) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(c)
+}
+
+// ReadTrace reads a JSON trace from r and seals it.
+func ReadTrace(r io.Reader) (*Computation, error) {
+	dec := json.NewDecoder(r)
+	c := New()
+	if err := dec.Decode(c); err != nil {
+		return nil, err
+	}
+	if err := c.Seal(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,244 @@
+package computation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// compSpec is a generatable description of a computation for
+// property-based tests: event counts per process plus message attempts.
+type compSpec struct {
+	Lens  [3]uint8
+	Pairs [6][4]uint8
+}
+
+// build materializes the spec deterministically.
+func (s compSpec) build() *Computation {
+	c := New()
+	for p := 0; p < len(s.Lens); p++ {
+		c.AddProcess()
+		n := int(s.Lens[p]%4) + 1
+		for i := 0; i < n; i++ {
+			c.AddInternal(ProcID(p))
+		}
+	}
+	for _, m := range s.Pairs {
+		from := ProcID(int(m[0]) % c.NumProcs())
+		to := ProcID(int(m[1]) % c.NumProcs())
+		if from == to {
+			continue
+		}
+		i := 1 + int(m[2])%(c.Len(from)-1)
+		j := 1 + int(m[3])%(c.Len(to)-1)
+		if i < j {
+			_ = c.AddMessage(c.EventAt(from, i).ID, c.EventAt(to, j).ID)
+		}
+	}
+	c.MustSeal()
+	return c
+}
+
+// TestOrderIsStrictPartialOrder checks irreflexivity, asymmetry and
+// transitivity of Precedes on generated computations.
+func TestOrderIsStrictPartialOrder(t *testing.T) {
+	f := func(s compSpec) bool {
+		c := s.build()
+		var ids []EventID
+		c.Events(func(e Event) bool {
+			ids = append(ids, e.ID)
+			return true
+		})
+		for _, a := range ids {
+			if c.Precedes(a, a) {
+				return false // irreflexive
+			}
+			for _, b := range ids {
+				if c.Precedes(a, b) && c.Precedes(b, a) {
+					return false // asymmetric
+				}
+				for _, d := range ids {
+					if c.Precedes(a, b) && c.Precedes(b, d) && !c.Precedes(a, d) {
+						return false // transitive
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConsistencyIsSymmetric checks that event consistency and
+// independence are symmetric relations.
+func TestConsistencyIsSymmetric(t *testing.T) {
+	f := func(s compSpec) bool {
+		c := s.build()
+		var ids []EventID
+		c.Events(func(e Event) bool {
+			ids = append(ids, e.ID)
+			return true
+		})
+		for _, a := range ids {
+			for _, b := range ids {
+				if c.ConsistentEvents(a, b) != c.ConsistentEvents(b, a) {
+					return false
+				}
+				if c.Independent(a, b) != c.Independent(b, a) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIndependentImpliesConsistentOnDistinctProcs: two independent events
+// on different processes are always consistent (a maximal antichain
+// through them extends to a consistent cut).
+func TestIndependentImpliesConsistentOnDistinctProcs(t *testing.T) {
+	f := func(s compSpec) bool {
+		c := s.build()
+		var ids []EventID
+		c.Events(func(e Event) bool {
+			ids = append(ids, e.ID)
+			return true
+		})
+		for _, a := range ids {
+			for _, b := range ids {
+				if c.Event(a).Proc == c.Event(b).Proc {
+					continue
+				}
+				if c.Independent(a, b) && !c.ConsistentEvents(a, b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCutLatticeClosure: consistent cuts are closed under component-wise
+// min (meet) and max (join).
+func TestCutLatticeClosure(t *testing.T) {
+	f := func(s compSpec, seed int64) bool {
+		c := s.build()
+		rng := rand.New(rand.NewSource(seed))
+		randCut := func() Cut {
+			k := c.InitialCut()
+			for p := range k {
+				k[p] = rng.Intn(c.Len(ProcID(p)))
+			}
+			return k
+		}
+		// Sample until we find two consistent cuts (or give up).
+		var cuts []Cut
+		for i := 0; i < 200 && len(cuts) < 2; i++ {
+			if k := randCut(); c.CutConsistent(k) {
+				cuts = append(cuts, k)
+			}
+		}
+		if len(cuts) < 2 {
+			return true
+		}
+		a, b := cuts[0], cuts[1]
+		meet, join := a.Clone(), a.Clone()
+		for p := range a {
+			if b[p] < meet[p] {
+				meet[p] = b[p]
+			}
+			if b[p] > join[p] {
+				join[p] = b[p]
+			}
+		}
+		return c.CutConsistent(meet) && c.CutConsistent(join)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCutThroughIdempotent: CutThrough of a cut's own frontier events
+// reproduces a cut below-or-equal it that still passes through them.
+func TestCutThroughIdempotent(t *testing.T) {
+	f := func(s compSpec) bool {
+		c := s.build()
+		k := c.FinalCut()
+		fr := c.Frontier(k)
+		k2 := c.CutThrough(fr...)
+		if !k2.Leq(k) {
+			return false
+		}
+		for _, id := range fr {
+			if !k2.PassesThrough(c.Event(id)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEnabledConsistentWithExecution: the enabled set at the initial cut
+// is never empty unless every process has only its initial event, and
+// executing any enabled event keeps the cut consistent.
+func TestEnabledConsistentWithExecution(t *testing.T) {
+	f := func(s compSpec) bool {
+		c := s.build()
+		k := c.InitialCut()
+		for !k.Equal(c.FinalCut()) {
+			en := c.Enabled(k)
+			if len(en) == 0 {
+				return false // progress must always be possible
+			}
+			k = c.Execute(k, c.Event(en[0]).Proc)
+			if !c.CutConsistent(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClockComponentCountsDownSet: clock(e)[q] equals the number of
+// events of q that precede-or-equal e, by definition.
+func TestClockComponentCountsDownSet(t *testing.T) {
+	f := func(s compSpec) bool {
+		c := s.build()
+		ok := true
+		c.Events(func(e Event) bool {
+			row := c.Clock(e.ID)
+			for q := 0; q < c.NumProcs(); q++ {
+				count := int32(0)
+				for _, id := range c.ProcEvents(ProcID(q)) {
+					// Count via declared-edge reachability (the DP
+					// definition), not the initial-event fiat.
+					if id == e.ID || c.PrecedesSlow(id, e.ID) {
+						count++
+					}
+				}
+				if row[q] != count {
+					ok = false
+				}
+			}
+			return ok
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,90 @@
+package relsum
+
+import (
+	"fmt"
+
+	"github.com/distributed-predicates/gpd/internal/computation"
+	"github.com/distributed-predicates/gpd/internal/lattice"
+)
+
+// Definitely decides Definitely(S relop k): does every run of the
+// computation pass through a consistent cut with S relop k?
+//
+// A run avoids the predicate iff the cut lattice contains a bottom-to-top
+// path inside the complementary region, so each operator reduces to one
+// region-reachability query (for = on unit-step computations, to the two
+// queries of Theorem 7(2): Definitely(S = k) iff Definitely(S <= k) and
+// Definitely(S >= k)). Region reachability explores at most the consistent
+// cuts of the region — far fewer than the run enumeration of the naive
+// detector, but still exponential in the worst case; the paper defers
+// polynomial algorithms for the <=/>= primitives to prior work and this
+// package keeps their role explicit instead.
+func Definitely(c *computation.Computation, name string, r Relop, k int64) (bool, error) {
+	switch r {
+	case Lt:
+		return definitelyLe(c, name, k-1), nil
+	case Le:
+		return definitelyLe(c, name, k), nil
+	case Ge:
+		return definitelyGe(c, name, k), nil
+	case Gt:
+		return definitelyGe(c, name, k+1), nil
+	case Ne:
+		// A run avoids S != k iff it stays on the S == k plateau.
+		return !avoidable(c, region(name, Ne, k)), nil
+	case Eq:
+		if err := ValidateUnitStep(c, name); err != nil {
+			return false, err
+		}
+		// Theorem 7(2): with unit steps a run hits S == k exactly
+		// when it dips to <= k and rises to >= k (intermediate value
+		// along the run).
+		return definitelyLe(c, name, k) && definitelyGe(c, name, k), nil
+	default:
+		return false, fmt.Errorf("relsum: unknown relational operator %v", r)
+	}
+}
+
+// definitelyLe reports whether every run passes through a cut with S <= k:
+// equivalently, no run stays entirely inside the region S > k.
+func definitelyLe(c *computation.Computation, name string, k int64) bool {
+	return !avoidable(c, region(name, Le, k))
+}
+
+// definitelyGe reports whether every run passes through a cut with S >= k.
+func definitelyGe(c *computation.Computation, name string, k int64) bool {
+	return !avoidable(c, region(name, Ge, k))
+}
+
+// avoidable reports whether some run avoids the predicate entirely, i.e.
+// the lattice has a bottom-to-top path through the complement.
+func avoidable(c *computation.Computation, pred lattice.Predicate) bool {
+	not := func(cc *computation.Computation, cut computation.Cut) bool { return !pred(cc, cut) }
+	return lattice.PathExists(c, c.InitialCut(), c.FinalCut(), not)
+}
+
+// DefinitelyWeighted decides Definitely(quantity relop k) for an
+// ideal-sum quantity (see Weight): does every run pass through a cut
+// satisfying it? Decided by region reachability (worst-case exponential);
+// equality requires unit weights and uses the Theorem 7(2) decomposition.
+func DefinitelyWeighted(c *computation.Computation, base int64, w Weight, r Relop, k int64) (bool, error) {
+	at := func(cc *computation.Computation, cut computation.Cut) int64 {
+		return WeightedAt(cc, base, w, cut)
+	}
+	reg := func(rr Relop, kk int64) lattice.Predicate {
+		return func(cc *computation.Computation, cut computation.Cut) bool {
+			return rr.Eval(at(cc, cut), kk)
+		}
+	}
+	switch r {
+	case Lt, Le, Ge, Gt, Ne:
+		return !avoidable(c, reg(r, k)), nil
+	case Eq:
+		if err := validateUnitWeight(c, w); err != nil {
+			return false, err
+		}
+		return !avoidable(c, reg(Le, k)) && !avoidable(c, reg(Ge, k)), nil
+	default:
+		return false, fmt.Errorf("relsum: unknown relational operator %v", r)
+	}
+}

@@ -1,0 +1,97 @@
+package relsum
+
+import (
+	"fmt"
+
+	"github.com/distributed-predicates/gpd/internal/computation"
+)
+
+// Possibly decides Possibly(S relop k) for the named variable sum.
+//
+// For the order operators <, <=, >=, > the answer follows from the exact
+// extrema of S over consistent cuts (SumRange) with no assumption on the
+// per-event change. For = the computation must be unit-step; the answer is
+// then min <= k <= max by Theorem 7(1) of the paper (with arbitrary steps
+// the problem is NP-complete, Theorem 3, and ErrNotUnitStep is returned).
+// For != the answer is "some consistent cut has S != k", which also falls
+// out of the extrema.
+func Possibly(c *computation.Computation, name string, r Relop, k int64) (bool, error) {
+	min, max := SumRange(c, name)
+	switch r {
+	case Lt:
+		return min < k, nil
+	case Le:
+		return min <= k, nil
+	case Ge:
+		return max >= k, nil
+	case Gt:
+		return max > k, nil
+	case Ne:
+		return min != k || max != k, nil
+	case Eq:
+		if err := ValidateUnitStep(c, name); err != nil {
+			return false, err
+		}
+		return min <= k && k <= max, nil
+	default:
+		return false, fmt.Errorf("relsum: unknown relational operator %v", r)
+	}
+}
+
+// PossiblyEqWitness decides Possibly(S = k) on a unit-step computation and,
+// when it holds, produces a consistent cut with S exactly k. The witness is
+// constructed in polynomial time from Theorem 4 (the intermediate-value
+// property of lattice paths): walk from the initial cut to an extremal cut
+// and on to the final cut; along a path S changes by at most one per step,
+// so every value between the path's extremes is hit.
+func PossiblyEqWitness(c *computation.Computation, name string, k int64) (bool, computation.Cut, error) {
+	if err := ValidateUnitStep(c, name); err != nil {
+		return false, nil, err
+	}
+	min, max, argmin, argmax := sumRangeWitness(c, name)
+	if k < min || k > max {
+		return false, nil, nil
+	}
+	// Path 1 covers [min, S(final)], path 2 covers [S(final), max]; their
+	// union is [min, max].
+	if cut, ok := scanPath(c, name, k, argmin); ok {
+		return true, cut, nil
+	}
+	if cut, ok := scanPath(c, name, k, argmax); ok {
+		return true, cut, nil
+	}
+	// Unreachable for unit-step computations; guarded for safety.
+	return false, nil, fmt.Errorf("relsum: internal error: no witness for k=%d in [%d,%d]", k, min, max)
+}
+
+// scanPath walks the lattice path initial -> via -> final and returns the
+// first cut with S == k, if any.
+func scanPath(c *computation.Computation, name string, k int64, via computation.Cut) (computation.Cut, bool) {
+	cur := c.InitialCut()
+	if c.SumVar(name, cur) == k {
+		return cur, true
+	}
+	segments := []computation.Cut{via, c.FinalCut()}
+	for _, target := range segments {
+		for !cur.Equal(target) {
+			advanced := false
+			for _, id := range c.Enabled(cur) {
+				e := c.Event(id)
+				if e.Index <= target[int(e.Proc)] {
+					cur = c.Execute(cur, e.Proc)
+					advanced = true
+					break
+				}
+			}
+			if !advanced {
+				// target not reachable monotonically (cannot happen
+				// for targets that are consistent cuts above cur).
+				return nil, false
+			}
+			if c.SumVar(name, cur) == k {
+				return cur, true
+			}
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,262 @@
+// Package relsum implements detection of relational sum predicates
+// "x1 + ... + xn relop k", where each xi is an integer variable on process
+// i, following Section 4 of Mittal & Garg (ICDCS 2001).
+//
+// The headline result: when every event changes its process's variable by
+// at most one (unit-step computations), Possibly(S = k) is decidable in
+// polynomial time — by Theorem 7(1) it holds iff Possibly(S <= k) and
+// Possibly(S >= k) both hold, i.e. iff k lies between the minimum and the
+// maximum of S over all consistent cuts. Those extrema are computed exactly
+// by a max-weight closure (min-cut) construction over the event DAG, since
+// consistent cuts are precisely the order ideals (Chase & Garg's technique
+// for relational predicates). With arbitrary per-event changes the problem
+// is NP-complete (Theorem 3; see core/reduction).
+//
+// Definitely(S = k) is decided through the Theorem 7(2) decomposition
+// Definitely(S <= k) and Definitely(S >= k); the paper defers those two
+// primitives to earlier work, and this package decides them by reachability
+// inside the cut lattice restricted to the complementary region (worst-case
+// exponential, unlike the Possibly side).
+package relsum
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/distributed-predicates/gpd/internal/computation"
+	"github.com/distributed-predicates/gpd/internal/lattice"
+	"github.com/distributed-predicates/gpd/internal/maxflow"
+)
+
+// ErrNotUnitStep indicates a variable that changes by more than one at
+// some event, outside the scope of the polynomial equality detectors.
+var ErrNotUnitStep = errors.New("relsum: variable changes by more than one at an event")
+
+// Relop is a relational operator.
+type Relop int
+
+const (
+	// Lt is <.
+	Lt Relop = iota + 1
+	// Le is <=.
+	Le
+	// Eq is =.
+	Eq
+	// Ge is >=.
+	Ge
+	// Gt is >.
+	Gt
+	// Ne is !=.
+	Ne
+)
+
+// String renders the operator.
+func (r Relop) String() string {
+	switch r {
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Eq:
+		return "=="
+	case Ge:
+		return ">="
+	case Gt:
+		return ">"
+	case Ne:
+		return "!="
+	default:
+		return fmt.Sprintf("relop(%d)", int(r))
+	}
+}
+
+// ParseRelop parses "<", "<=", "==", "=", ">=", ">", "!=".
+func ParseRelop(s string) (Relop, error) {
+	switch s {
+	case "<":
+		return Lt, nil
+	case "<=":
+		return Le, nil
+	case "=", "==":
+		return Eq, nil
+	case ">=":
+		return Ge, nil
+	case ">":
+		return Gt, nil
+	case "!=":
+		return Ne, nil
+	default:
+		return 0, fmt.Errorf("relsum: unknown relational operator %q", s)
+	}
+}
+
+// Eval applies the operator.
+func (r Relop) Eval(s, k int64) bool {
+	switch r {
+	case Lt:
+		return s < k
+	case Le:
+		return s <= k
+	case Eq:
+		return s == k
+	case Ge:
+		return s >= k
+	case Gt:
+		return s > k
+	case Ne:
+		return s != k
+	default:
+		return false
+	}
+}
+
+// delta returns the change of the named variable caused by the event
+// (value after the event minus value after its local predecessor).
+func delta(c *computation.Computation, name string, id computation.EventID) int64 {
+	prev := c.Prev(id)
+	if prev == computation.NoEvent {
+		return 0 // initial events carry the baseline, not a change
+	}
+	return c.Var(name, id) - c.Var(name, prev)
+}
+
+// MaxStep returns the largest absolute per-event change of the named
+// variable across the computation.
+func MaxStep(c *computation.Computation, name string) int64 {
+	var max int64
+	c.Events(func(e computation.Event) bool {
+		d := delta(c, name, e.ID)
+		if d < 0 {
+			d = -d
+		}
+		if d > max {
+			max = d
+		}
+		return true
+	})
+	return max
+}
+
+// ValidateUnitStep returns ErrNotUnitStep (wrapped, identifying the event)
+// unless every event changes the variable by at most one.
+func ValidateUnitStep(c *computation.Computation, name string) error {
+	var bad computation.Event
+	found := false
+	c.Events(func(e computation.Event) bool {
+		d := delta(c, name, e.ID)
+		if d > 1 || d < -1 {
+			bad, found = e, true
+			return false
+		}
+		return true
+	})
+	if found {
+		return fmt.Errorf("%w: event %v changes %q by %d",
+			ErrNotUnitStep, bad, name, delta(c, name, bad.ID))
+	}
+	return nil
+}
+
+// SumRange returns the minimum and maximum of S = sum of the named
+// variable over all consistent cuts, in polynomial time via two max-weight
+// closure computations on the event DAG. It does not require unit steps.
+func SumRange(c *computation.Computation, name string) (min, max int64) {
+	n := c.NumEvents()
+	weights := make([]int64, n)
+	var baseline int64
+	c.Events(func(e computation.Event) bool {
+		if e.IsInitial() {
+			baseline += c.Var(name, e.ID)
+		} else {
+			weights[int(e.ID)] = delta(c, name, e.ID)
+		}
+		return true
+	})
+	// Requirement edges: an event requires its direct predecessors
+	// (excluding initial events, which are in every cut).
+	var requires [][2]int
+	c.Events(func(e computation.Event) bool {
+		if e.IsInitial() {
+			return true
+		}
+		for _, p := range c.DirectPreds(e.ID) {
+			if !c.Event(p).IsInitial() {
+				requires = append(requires, [2]int{int(e.ID), int(p)})
+			}
+		}
+		return true
+	})
+	best, _ := maxflow.MaxClosure(weights, requires)
+	max = baseline + best
+	neg := make([]int64, n)
+	for i, w := range weights {
+		neg[i] = -w
+	}
+	worst, _ := maxflow.MaxClosure(neg, requires)
+	min = baseline - worst
+	return min, max
+}
+
+// sumRangeWitness is SumRange but also returns cuts achieving the extremes.
+func sumRangeWitness(c *computation.Computation, name string) (min, max int64, argmin, argmax computation.Cut) {
+	n := c.NumEvents()
+	weights := make([]int64, n)
+	var baseline int64
+	c.Events(func(e computation.Event) bool {
+		if e.IsInitial() {
+			baseline += c.Var(name, e.ID)
+		} else {
+			weights[int(e.ID)] = delta(c, name, e.ID)
+		}
+		return true
+	})
+	var requires [][2]int
+	c.Events(func(e computation.Event) bool {
+		if e.IsInitial() {
+			return true
+		}
+		for _, p := range c.DirectPreds(e.ID) {
+			if !c.Event(p).IsInitial() {
+				requires = append(requires, [2]int{int(e.ID), int(p)})
+			}
+		}
+		return true
+	})
+	best, maskMax := maxflow.MaxClosure(weights, requires)
+	max = baseline + best
+	argmax = maskToCut(c, maskMax)
+	neg := make([]int64, n)
+	for i, w := range weights {
+		neg[i] = -w
+	}
+	worst, maskMin := maxflow.MaxClosure(neg, requires)
+	min = baseline - worst
+	argmin = maskToCut(c, maskMin)
+	return min, max, argmin, argmax
+}
+
+// maskToCut converts a closure membership mask over event ids into the
+// frontier cut containing exactly the chosen events plus all initial
+// events.
+func maskToCut(c *computation.Computation, mask []bool) computation.Cut {
+	k := c.InitialCut()
+	c.Events(func(e computation.Event) bool {
+		if !e.IsInitial() && mask[int(e.ID)] && e.Index > k[int(e.Proc)] {
+			k[int(e.Proc)] = e.Index
+		}
+		return true
+	})
+	return k
+}
+
+// Sum evaluates S at a cut.
+func Sum(c *computation.Computation, name string, k computation.Cut) int64 {
+	return c.SumVar(name, k)
+}
+
+// region returns the lattice predicate "S relop k".
+func region(name string, r Relop, k int64) lattice.Predicate {
+	return func(c *computation.Computation, cut computation.Cut) bool {
+		return r.Eval(c.SumVar(name, cut), k)
+	}
+}

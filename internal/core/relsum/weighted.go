@@ -1,0 +1,196 @@
+package relsum
+
+import (
+	"fmt"
+
+	"github.com/distributed-predicates/gpd/internal/computation"
+	"github.com/distributed-predicates/gpd/internal/maxflow"
+)
+
+// Weight assigns to each non-initial event the change it causes to some
+// global quantity; the quantity at a consistent cut equals base plus the
+// sum of weights of the cut's non-initial events. Per-process variable
+// sums are the special case weight(e) = x(e) - x(prev(e)); channel
+// occupancy is weight(e) = (#messages sent at e) - (#messages received at
+// e). Any such "ideal sum" admits the same polynomial min/max machinery
+// via max-weight closures.
+type Weight func(computation.Event) int64
+
+// WeightedRange returns the minimum and maximum over all consistent cuts
+// of base + sum of event weights, in polynomial time (two max-weight
+// closure computations).
+func WeightedRange(c *computation.Computation, base int64, w Weight) (min, max int64) {
+	min, max, _, _ = weightedRangeWitness(c, base, w)
+	return min, max
+}
+
+func weightedRangeWitness(c *computation.Computation, base int64, w Weight) (min, max int64, argmin, argmax computation.Cut) {
+	n := c.NumEvents()
+	weights := make([]int64, n)
+	c.Events(func(e computation.Event) bool {
+		if !e.IsInitial() {
+			weights[int(e.ID)] = w(e)
+		}
+		return true
+	})
+	var requires [][2]int
+	c.Events(func(e computation.Event) bool {
+		if e.IsInitial() {
+			return true
+		}
+		for _, p := range c.DirectPreds(e.ID) {
+			if !c.Event(p).IsInitial() {
+				requires = append(requires, [2]int{int(e.ID), int(p)})
+			}
+		}
+		return true
+	})
+	best, maskMax := maxflow.MaxClosure(weights, requires)
+	max = base + best
+	argmax = maskToCut(c, maskMax)
+	neg := make([]int64, n)
+	for i, x := range weights {
+		neg[i] = -x
+	}
+	worst, maskMin := maxflow.MaxClosure(neg, requires)
+	min = base - worst
+	argmin = maskToCut(c, maskMin)
+	return min, max, argmin, argmax
+}
+
+// WeightedAt evaluates the quantity at a cut directly.
+func WeightedAt(c *computation.Computation, base int64, w Weight, k computation.Cut) int64 {
+	s := base
+	for p := 0; p < c.NumProcs(); p++ {
+		for i := 1; i <= k[p]; i++ {
+			s += w(c.EventAt(computation.ProcID(p), i))
+		}
+	}
+	return s
+}
+
+// PossiblyWeighted decides Possibly(quantity relop k) for an ideal-sum
+// quantity. Order operators are exact with arbitrary weights; equality
+// and its witness require unit weights (|w(e)| <= 1), mirroring the
+// paper's Theorem 7/Theorem 3 split.
+func PossiblyWeighted(c *computation.Computation, base int64, w Weight, r Relop, k int64) (bool, error) {
+	min, max := WeightedRange(c, base, w)
+	switch r {
+	case Lt:
+		return min < k, nil
+	case Le:
+		return min <= k, nil
+	case Ge:
+		return max >= k, nil
+	case Gt:
+		return max > k, nil
+	case Ne:
+		return min != k || max != k, nil
+	case Eq:
+		if err := validateUnitWeight(c, w); err != nil {
+			return false, err
+		}
+		return min <= k && k <= max, nil
+	default:
+		return false, fmt.Errorf("relsum: unknown relational operator %v", r)
+	}
+}
+
+func validateUnitWeight(c *computation.Computation, w Weight) error {
+	var bad computation.Event
+	found := false
+	c.Events(func(e computation.Event) bool {
+		if e.IsInitial() {
+			return true
+		}
+		if d := w(e); d > 1 || d < -1 {
+			bad, found = e, true
+			return false
+		}
+		return true
+	})
+	if found {
+		return fmt.Errorf("%w: event %v has weight outside [-1,1]", ErrNotUnitStep, bad)
+	}
+	return nil
+}
+
+// InFlightWeight returns the weight function for the channel-occupancy
+// quantity: the number of messages sent but not yet received. Each send
+// at an event contributes +1 per message, each delivery -1. The initial
+// occupancy of a computation is zero.
+func InFlightWeight(c *computation.Computation) Weight {
+	// Precompute per-event send/receive counts (an event may carry
+	// several messages in either direction).
+	delta := make([]int64, c.NumEvents())
+	for _, m := range c.Messages() {
+		delta[int(m.Send)]++
+		delta[int(m.Receive)]--
+	}
+	return func(e computation.Event) int64 { return delta[int(e.ID)] }
+}
+
+// InFlightRange returns the minimum and maximum number of in-flight
+// messages over all consistent cuts — e.g. max gives the channel-buffer
+// bound the system actually needs, and min == 0 at reachable quiescent
+// states.
+func InFlightRange(c *computation.Computation) (min, max int64) {
+	return WeightedRange(c, 0, InFlightWeight(c))
+}
+
+// PossiblyQuiescent reports whether some consistent cut other than the
+// trivially quiescent initial cut has no messages in flight — with the
+// witness cut. (The initial and final cuts of a complete computation are
+// always quiescent; the interesting question is usually about bounds, see
+// InFlightRange, but a witness for equality demonstrates Theorem 4's
+// constructive side for channel quantities. Requires every event to send
+// or receive at most one message in total, the unit-weight condition.)
+func PossiblyQuiescent(c *computation.Computation, k int64) (bool, computation.Cut, error) {
+	w := InFlightWeight(c)
+	if err := validateUnitWeight(c, w); err != nil {
+		return false, nil, err
+	}
+	min, max, argmin, argmax := weightedRangeWitness(c, 0, w)
+	if k < min || k > max {
+		return false, nil, nil
+	}
+	// Walk paths through both extreme cuts; by the intermediate-value
+	// property one of them passes through occupancy k.
+	if cut, ok := scanWeighted(c, w, k, argmin); ok {
+		return true, cut, nil
+	}
+	if cut, ok := scanWeighted(c, w, k, argmax); ok {
+		return true, cut, nil
+	}
+	return false, nil, fmt.Errorf("relsum: internal error: no in-flight witness for %d in [%d,%d]", k, min, max)
+}
+
+// scanWeighted walks initial -> via -> final looking for quantity == k.
+func scanWeighted(c *computation.Computation, w Weight, k int64, via computation.Cut) (computation.Cut, bool) {
+	cur := c.InitialCut()
+	val := int64(0)
+	if val == k {
+		return cur, true
+	}
+	for _, target := range []computation.Cut{via, c.FinalCut()} {
+		for !cur.Equal(target) {
+			advanced := false
+			for _, id := range c.Enabled(cur) {
+				e := c.Event(id)
+				if e.Index <= target[int(e.Proc)] {
+					cur = c.Execute(cur, e.Proc)
+					val += w(e)
+					advanced = true
+					break
+				}
+			}
+			if !advanced {
+				return nil, false
+			}
+			if val == k {
+				return cur, true
+			}
+		}
+	}
+	return nil, false
+}

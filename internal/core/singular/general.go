@@ -1,0 +1,124 @@
+package singular
+
+import (
+	"github.com/distributed-predicates/gpd/internal/chains"
+	"github.com/distributed-predicates/gpd/internal/computation"
+)
+
+// detectSubsets is general algorithm A (Section 3.3): enumerate all
+// selections of one process per clause, restrict each clause's candidates
+// to the selected process (a totally ordered queue), and run the CPDHB
+// elimination for each selection. The number of selections is at most k^g
+// for g clauses of at most k literals.
+func detectSubsets(
+	c *computation.Computation,
+	p *Predicate,
+	cands [][]computation.EventID,
+) (Result, error) {
+	// Split each clause's candidates by hosting process; keep only
+	// processes that actually have true events.
+	perClause := make([][][]computation.EventID, len(cands))
+	for i, t := range cands {
+		byProc := make(map[computation.ProcID][]computation.EventID)
+		for _, id := range t {
+			pr := c.Event(id).Proc
+			byProc[pr] = append(byProc[pr], id)
+		}
+		// Deterministic order: follow the clause's literal order.
+		for _, l := range p.Clauses[i] {
+			if q, ok := byProc[l.Proc]; ok {
+				perClause[i] = append(perClause[i], q)
+			}
+		}
+	}
+	return runSelections(c, perClause, ProcessSubsets), nil
+}
+
+// detectChains is general algorithm B (Section 3.3): cover each clause's
+// true events with a minimum number of chains of the happened-before order
+// (Dilworth via matching) and enumerate selections of one chain per
+// clause. Each chain is totally ordered by causality, so the CPDHB
+// elimination is sound on it; the number of selections is at most c^g
+// where c bounds the cover sizes. Since the per-process split of algorithm
+// A is itself a chain cover (usually not minimum), B never tries more
+// combinations than A.
+func detectChains(
+	c *computation.Computation,
+	cands [][]computation.EventID,
+) (Result, error) {
+	perClause := make([][][]computation.EventID, len(cands))
+	for i, t := range cands {
+		cover := chains.Cover(len(t), func(a, b int) bool {
+			return c.Precedes(t[a], t[b])
+		})
+		for _, chain := range cover {
+			q := make([]computation.EventID, len(chain))
+			for j, idx := range chain {
+				q[j] = t[idx]
+			}
+			perClause[i] = append(perClause[i], q)
+		}
+	}
+	return runSelections(c, perClause, ChainCover), nil
+}
+
+// runSelections enumerates the cartesian product of queue choices, running
+// the elimination for each selection until one succeeds.
+func runSelections(
+	c *computation.Computation,
+	perClause [][][]computation.EventID,
+	strategy Strategy,
+) Result {
+	res := Result{Strategy: strategy}
+	for i := range perClause {
+		if len(perClause[i]) == 0 {
+			return res // a clause with no true events at all
+		}
+	}
+	sel := make([]int, len(perClause))
+	queues := make([][]computation.EventID, len(perClause))
+	clock := func(id computation.EventID) []int32 { return c.Clock(id) }
+	proc := func(id computation.EventID) int { return int(c.Event(id).Proc) }
+	for {
+		for i, s := range sel {
+			queues[i] = perClause[i][s]
+		}
+		res.Combinations++
+		found, witness, elims := eliminateQueues(queues, clock, proc)
+		res.Eliminations += elims
+		if found {
+			res.Found = true
+			res.Witness = witness
+			return finish(c, res)
+		}
+		// Odometer step.
+		i := 0
+		for ; i < len(sel); i++ {
+			sel[i]++
+			if sel[i] < len(perClause[i]) {
+				break
+			}
+			sel[i] = 0
+		}
+		if i == len(sel) {
+			return res
+		}
+	}
+}
+
+// ChainCoverSizes reports the minimum chain cover size of each clause's
+// true events — the c_i of algorithm B — without running detection. The
+// benchmark harness uses it to predict the A-versus-B combination counts.
+func ChainCoverSizes(c *computation.Computation, p *Predicate, truth Truth) ([]int, error) {
+	if err := p.Validate(c); err != nil {
+		return nil, err
+	}
+	cands := p.trueEvents(c, truth)
+	out := make([]int, len(cands))
+	for i, t := range cands {
+		out[i] = chains.Width(len(t), func(a, b int) bool {
+			return c.Precedes(t[a], t[b])
+		})
+	}
+	return out, nil
+}

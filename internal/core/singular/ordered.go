@@ -1,0 +1,208 @@
+package singular
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/distributed-predicates/gpd/internal/computation"
+)
+
+// detectOrdered runs the polynomial special-case detector of Section 3.2.
+// With sendOrdered false it requires the computation to be receive-ordered
+// with respect to the predicate's meta-processes: all receive events on the
+// processes of each clause must be totally ordered by happened-before. With
+// sendOrdered true it requires sends to be totally ordered, and reduces to
+// the receive-ordered case on the time-reversed (and padded) computation.
+func detectOrdered(
+	c *computation.Computation,
+	p *Predicate,
+	cands [][]computation.EventID,
+	sendOrdered bool,
+) (Result, error) {
+	strategy := ReceiveOrdered
+	if sendOrdered {
+		strategy = SendOrdered
+	}
+	groups := make([][]computation.ProcID, len(p.Clauses))
+	for i, cl := range p.Clauses {
+		for _, l := range cl {
+			groups[i] = append(groups[i], l.Proc)
+		}
+	}
+
+	work := c
+	queues := cands
+	var back func(computation.EventID) computation.EventID
+	if sendOrdered {
+		rev := reversePadded(c)
+		work = rev.c
+		queues = make([][]computation.EventID, len(cands))
+		for i, t := range cands {
+			queues[i] = make([]computation.EventID, len(t))
+			for j, id := range t {
+				queues[i][j] = rev.image(c, id)
+			}
+		}
+		back = func(id computation.EventID) computation.EventID { return rev.preimage(c, id) }
+	} else {
+		// Defensive copy: the queues are re-sorted below.
+		queues = make([][]computation.EventID, len(cands))
+		for i, t := range cands {
+			queues[i] = append([]computation.EventID(nil), t...)
+		}
+	}
+
+	if err := checkReceiveOrdered(work, groups); err != nil {
+		return Result{}, err
+	}
+	topoPos, err := extendedOrderPositions(work, groups)
+	if err != nil {
+		return Result{}, err
+	}
+	for i := range queues {
+		q := queues[i]
+		sort.Slice(q, func(a, b int) bool { return topoPos[q[a]] < topoPos[q[b]] })
+	}
+
+	found, witness, elims := eliminateQueues(queues,
+		func(id computation.EventID) []int32 { return work.Clock(id) },
+		func(id computation.EventID) int { return int(work.Event(id).Proc) },
+	)
+	res := Result{Found: found, Witness: witness, Strategy: strategy, Combinations: 1, Eliminations: elims}
+	if found && back != nil {
+		for i, id := range res.Witness {
+			res.Witness[i] = back(id)
+		}
+	}
+	return finish(c, res), nil
+}
+
+// checkReceiveOrdered verifies that the receive events on each
+// meta-process are totally ordered by happened-before.
+func checkReceiveOrdered(c *computation.Computation, groups [][]computation.ProcID) error {
+	for gi, group := range groups {
+		var recvs []computation.EventID
+		for _, p := range group {
+			for _, id := range c.ProcEvents(p) {
+				if c.Event(id).Kind.IsReceive() {
+					recvs = append(recvs, id)
+				}
+			}
+		}
+		for i := 0; i < len(recvs); i++ {
+			for j := i + 1; j < len(recvs); j++ {
+				a, b := recvs[i], recvs[j]
+				if !c.Precedes(a, b) && !c.Precedes(b, a) {
+					return fmt.Errorf("%w: receives %v and %v of meta-process %d are concurrent",
+						ErrNotOrdered, c.Event(a), c.Event(b), gi)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// extendedOrderPositions builds the extended partial order of Section 3.2 —
+// for every pair of independent events e, r on the same meta-process with r
+// a receive event, an arrow e -> r is added — and returns the position of
+// every event in a linearization of it. The linearization satisfies
+// Property P: if x -> e for x outside e's meta-process, then x -> f for
+// every f after e in the linearization on the same meta-process, which is
+// what makes queue elimination sound.
+func extendedOrderPositions(
+	c *computation.Computation,
+	groups [][]computation.ProcID,
+) (map[computation.EventID]int, error) {
+	ext := c.Clone()
+	for _, group := range groups {
+		var all, recvs []computation.EventID
+		for _, p := range group {
+			for _, id := range c.ProcEvents(p) {
+				all = append(all, id)
+				if c.Event(id).Kind.IsReceive() {
+					recvs = append(recvs, id)
+				}
+			}
+		}
+		for _, r := range recvs {
+			for _, e := range all {
+				if e == r || !c.Independent(e, r) {
+					continue
+				}
+				if err := ext.AddEdge(e, r); err != nil {
+					return nil, fmt.Errorf("singular: extend order: %w", err)
+				}
+			}
+		}
+	}
+	if err := ext.Seal(); err != nil {
+		return nil, fmt.Errorf("%w: extended order is cyclic: %v", ErrNotOrdered, err)
+	}
+	pos := make(map[computation.EventID]int, ext.NumEvents())
+	for i, id := range ext.Topo() {
+		pos[id] = i
+	}
+	return pos, nil
+}
+
+// reversed is a time-reversed, padded copy of a computation. Every process
+// gets one trailing pad event; the reversal maps the padded event at local
+// index i of a process of length L (including the pad) to local index L-1-i.
+type reversed struct {
+	c *computation.Computation
+}
+
+// reversePadded builds the reversal. Message and extra edges are flipped;
+// pads become the initial events of the reversal.
+func reversePadded(c *computation.Computation) reversed {
+	r := computation.New()
+	for p := 0; p < c.NumProcs(); p++ {
+		pid := r.AddProcess()
+		// Original process has Len events (incl. its initial event);
+		// padded length is Len+1, so the reversal also has Len+1
+		// events: the pad is the reversal's initial event and the
+		// original initial event is the reversal's final event.
+		for i := 0; i < c.Len(computation.ProcID(p)); i++ {
+			r.AddInternal(pid)
+		}
+	}
+	for _, m := range c.Messages() {
+		if err := r.AddMessage(rimage(c, r, m.Receive), rimage(c, r, m.Send)); err != nil {
+			// Cannot happen: reversal of a valid message is valid.
+			panic(fmt.Sprintf("singular: reverse message: %v", err))
+		}
+	}
+	for _, e := range c.Edges() {
+		if err := r.AddEdge(rimage(c, r, e.To), rimage(c, r, e.From)); err != nil {
+			panic(fmt.Sprintf("singular: reverse edge: %v", err))
+		}
+	}
+	r.MustSeal()
+	return reversed{c: r}
+}
+
+// rimage maps an original event to its counterpart in the reversal.
+func rimage(c, r *computation.Computation, id computation.EventID) computation.EventID {
+	e := c.Event(id)
+	// Padded length is c.Len+1; reversal index of padded index i is
+	// (c.Len) - i, and original events keep their padded index.
+	ri := c.Len(e.Proc) - e.Index
+	return r.EventAt(e.Proc, ri).ID
+}
+
+// image maps an original candidate event e to the reversal image of its
+// padded successor succ(e) — the event whose consistency in the reversal
+// coincides with e's consistency in the original (see package tests).
+func (rv reversed) image(c *computation.Computation, id computation.EventID) computation.EventID {
+	e := c.Event(id)
+	// Padded successor has index e.Index+1; reversal index = Len - (e.Index+1).
+	ri := c.Len(e.Proc) - e.Index - 1
+	return rv.c.EventAt(e.Proc, ri).ID
+}
+
+// preimage inverts image.
+func (rv reversed) preimage(c *computation.Computation, rid computation.EventID) computation.EventID {
+	re := rv.c.Event(rid)
+	idx := c.Len(re.Proc) - re.Index - 1
+	return c.EventAt(re.Proc, idx).ID
+}

@@ -1,0 +1,143 @@
+// Package experiments is the reproduction harness: one driver per figure
+// or formal claim of Mittal & Garg (ICDCS 2001), each regenerating a table
+// recorded in EXPERIMENTS.md. The paper is a theory paper with no
+// measurement section, so the harness validates the figures (F1–F3) and
+// the complexity/correctness claims (E1–E7) empirically: agreement with
+// independent oracles, polynomial-versus-exponential scaling shapes, and
+// the exponential reduction of algorithm B over algorithm A.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is one reproduced artifact.
+type Table struct {
+	// ID is the experiment identifier (F1..F3, E1..E7).
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Columns are the header names.
+	Columns []string
+	// Rows hold the cells, one row per line.
+	Rows [][]string
+	// Notes are free-form remarks appended below the table.
+	Notes []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case time.Duration:
+			row[i] = fmtDuration(v)
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fus", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// timed measures fn once and returns its duration.
+func timed(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// Runner names and runs one experiment.
+type Runner struct {
+	ID   string
+	Name string
+	Run  func() *Table
+}
+
+// All lists every experiment in presentation order.
+func All() []Runner {
+	return []Runner{
+		{"F1", "results landscape (Figure 1)", Fig1Matrix},
+		{"F2", "example computation (Figure 2)", Fig2Table},
+		{"F3", "NP-hardness transformation (Figure 3)", Fig3Table},
+		{"E1", "Theorem 1: singular 2-CNF <-> non-monotone 3-SAT", E1Soundness},
+		{"E2", "Section 3.2: receive-/send-ordered polynomial scaling", E2Scaling},
+		{"E3", "Section 3.3: algorithm A vs algorithm B", E3AvsB},
+		{"E4", "Theorems 4-7: Possibly(sum = k) polynomial vs lattice", E4SumEq},
+		{"E5", "Theorem 3: subset-sum reduction", E5SubsetSum},
+		{"E6", "Section 4.3: symmetric predicates", E6Symmetric},
+		{"E7", "Garg-Waldecker conjunctive baseline", E7Conjunctive},
+		{"X1", "extension: computation slicing", X1Slicing},
+		{"X2", "extension: channel-occupancy predicates", X2Channels},
+		{"X3", "extension: Definitely(conjunction) intervals", X3Definitely},
+	}
+}
+
+// Get returns the runner with the given ID, or nil.
+func Get(id string) *Runner {
+	for _, r := range All() {
+		if strings.EqualFold(r.ID, id) {
+			r := r
+			return &r
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness is slow")
+	}
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			tab := r.Run()
+			if tab == nil || len(tab.Rows) == 0 {
+				t.Fatalf("%s produced no rows", r.ID)
+			}
+			s := tab.String()
+			if !strings.Contains(s, tab.ID) {
+				t.Fatalf("%s rendering lacks the id", r.ID)
+			}
+			for _, row := range tab.Rows {
+				for _, cell := range row {
+					if strings.Contains(cell, "ERROR") {
+						t.Fatalf("%s row contains an error cell: %v", r.ID, row)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestE1AgreementPerfect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tab := E1Soundness()
+	for _, row := range tab.Rows {
+		agree := row[3]
+		parts := strings.Split(agree, "/")
+		if len(parts) != 2 || parts[0] != parts[1] {
+			t.Fatalf("E1 row has imperfect agreement: %v", row)
+		}
+	}
+}
+
+func TestE3ChainCoverWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tab := E3AvsB()
+	for _, row := range tab.Rows {
+		if row[7] != "true" {
+			t.Fatalf("E3 A/B disagreement: %v", row)
+		}
+	}
+}
+
+func TestE5AgreementPerfect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tab := E5SubsetSum()
+	for _, row := range tab.Rows {
+		parts := strings.Split(row[1], "/")
+		if len(parts) != 2 || parts[0] != parts[1] {
+			t.Fatalf("E5 row has imperfect agreement: %v", row)
+		}
+	}
+}
+
+func TestFig2RelationsMatchText(t *testing.T) {
+	c, ev := Fig2Computation()
+	if !c.ConsistentEvents(ev["e"], ev["f"]) {
+		t.Error("e,f must be consistent")
+	}
+	if !c.Independent(ev["e"], ev["f"]) {
+		t.Error("e,f must be independent")
+	}
+	if c.ConsistentEvents(ev["e"], ev["g"]) {
+		t.Error("e,g must be inconsistent")
+	}
+	if !c.Precedes(ev["g"], ev["h"]) {
+		t.Error("g must precede h")
+	}
+	if !c.ConsistentEvents(ev["g"], ev["h"]) {
+		t.Error("g,h must be consistent despite being ordered")
+	}
+}
+
+func TestGet(t *testing.T) {
+	if Get("e3") == nil || Get("E3") == nil {
+		t.Error("Get must be case-insensitive")
+	}
+	if Get("nope") != nil {
+		t.Error("unknown id must return nil")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "T", Title: "demo", Columns: []string{"a", "bb"}}
+	tab.AddRow(1, "x")
+	tab.AddRow(250*time.Microsecond, 3.14159)
+	tab.Notes = append(tab.Notes, "hello")
+	s := tab.String()
+	for _, want := range []string{"T", "demo", "a", "bb", "250.0us", "3.14", "note: hello"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering lacks %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFmtDuration(t *testing.T) {
+	cases := map[time.Duration]string{
+		500 * time.Nanosecond:   "500ns",
+		2500 * time.Nanosecond:  "2.5us",
+		3 * time.Millisecond:    "3.00ms",
+		1500 * time.Millisecond: "1.50s",
+	}
+	for d, want := range cases {
+		if got := fmtDuration(d); got != want {
+			t.Errorf("fmtDuration(%v) = %q, want %q", d, got, want)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"github.com/distributed-predicates/gpd/internal/computation"
+	"github.com/distributed-predicates/gpd/internal/simulator"
+)
+
+// RunVoting produces a gossip-voting trace with n processes, roughly half
+// of them starting with a yes vote.
+func RunVoting(seed int64, n int) (*computation.Computation, error) {
+	procs := simulator.NewVoterProcs(n, 4, func(i int) bool { return i%2 == 0 })
+	return simulator.New(seed, procs).Run()
+}
+
+// simRun runs a prepared process set under a seeded scheduler.
+func simRun(seed int64, procs []simulator.Process) (*computation.Computation, error) {
+	return simulator.New(seed, procs).Run()
+}
+
+func simulatorTokenRing(n, tokens, work, rounds int) []simulator.Process {
+	return simulator.NewTokenRingProcs(n, tokens, work, rounds)
+}
+
+func simulatorTwoPhase(n int) []simulator.Process {
+	return simulator.NewTwoPhaseProcs(n, false, func(int) bool { return true })
+}
+
+func simulatorElection(n int) []simulator.Process {
+	return simulator.NewElectionProcs(n, nil)
+}
+
+func simulatorGossip(n, steps int) []simulator.Process {
+	return simulator.NewGossiperProcs(n, steps, 400)
+}

@@ -1,0 +1,163 @@
+// Package gen generates parameterised random computations — the workload
+// generators behind the experiment harness and the benchmarks. All
+// generators are deterministic in the seed.
+package gen
+
+import (
+	"math/rand"
+
+	"github.com/distributed-predicates/gpd/internal/computation"
+)
+
+// Params configures the random computation generator.
+type Params struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Procs is the number of processes.
+	Procs int
+	// Events is the number of non-initial events per process.
+	Events int
+	// MsgFrac is the number of message attempts as a fraction of the
+	// total event count (successful attempts require a causally valid
+	// forward pairing; roughly half succeed).
+	MsgFrac float64
+}
+
+// Random builds a random sealed computation: Procs processes with Events
+// events each and random forward messages.
+func Random(p Params) *computation.Computation {
+	rng := rand.New(rand.NewSource(p.Seed))
+	c := computation.New()
+	for i := 0; i < p.Procs; i++ {
+		c.AddProcess()
+		for j := 0; j < p.Events; j++ {
+			c.AddInternal(computation.ProcID(i))
+		}
+	}
+	addRandomMessages(rng, c, int(p.MsgFrac*float64(p.Procs*p.Events)), nil)
+	return c.MustSeal()
+}
+
+// addRandomMessages makes `attempts` attempts to add a random message; the
+// optional recvOK filter restricts which processes may receive.
+func addRandomMessages(rng *rand.Rand, c *computation.Computation, attempts int, recvOK func(computation.ProcID) bool) {
+	np := c.NumProcs()
+	if np < 2 {
+		return
+	}
+	for t := 0; t < attempts; t++ {
+		from := computation.ProcID(rng.Intn(np))
+		to := computation.ProcID(rng.Intn(np))
+		if from == to || (recvOK != nil && !recvOK(to)) {
+			continue
+		}
+		if c.Len(from) < 2 || c.Len(to) < 2 {
+			continue
+		}
+		i := 1 + rng.Intn(c.Len(from)-1)
+		j := 1 + rng.Intn(c.Len(to)-1)
+		if i < j {
+			_ = c.AddMessage(c.EventAt(from, i).ID, c.EventAt(to, j).ID)
+		}
+	}
+}
+
+// GroupFunnel builds a computation whose processes are partitioned into
+// groups of size k, with all messages funnelled so that only each group's
+// first process receives (receiveOrdered true) or only each group's first
+// process sends (receiveOrdered false). The result is receive-ordered
+// (resp. send-ordered) with respect to the groups, matching the special
+// cases of Section 3.2.
+func GroupFunnel(p Params, groupSize int, receiveOrdered bool) *computation.Computation {
+	rng := rand.New(rand.NewSource(p.Seed))
+	c := computation.New()
+	for i := 0; i < p.Procs; i++ {
+		c.AddProcess()
+		for j := 0; j < p.Events; j++ {
+			c.AddInternal(computation.ProcID(i))
+		}
+	}
+	isFirst := func(q computation.ProcID) bool { return int(q)%groupSize == 0 }
+	attempts := int(p.MsgFrac * float64(p.Procs*p.Events))
+	if receiveOrdered {
+		addRandomMessages(rng, c, attempts, isFirst)
+	} else {
+		// Only group-first processes send.
+		np := c.NumProcs()
+		for t := 0; t < attempts; t++ {
+			from := computation.ProcID(rng.Intn(np))
+			if !isFirst(from) {
+				continue
+			}
+			to := computation.ProcID(rng.Intn(np))
+			if from == to {
+				continue
+			}
+			i := 1 + rng.Intn(c.Len(from)-1)
+			j := 1 + rng.Intn(c.Len(to)-1)
+			if i < j {
+				_ = c.AddMessage(c.EventAt(from, i).ID, c.EventAt(to, j).ID)
+			}
+		}
+	}
+	return c.MustSeal()
+}
+
+// BoolTables attaches a random boolean truth table (per process, per local
+// index) with the given density, returned as tables.
+func BoolTables(seed int64, c *computation.Computation, density float64) [][]bool {
+	rng := rand.New(rand.NewSource(seed))
+	tabs := make([][]bool, c.NumProcs())
+	for p := range tabs {
+		tabs[p] = make([]bool, c.Len(computation.ProcID(p)))
+		for i := range tabs[p] {
+			tabs[p][i] = rng.Float64() < density
+		}
+	}
+	return tabs
+}
+
+// UnitStepVar writes a random unit-step integer variable (changing by -1,
+// 0 or +1 at every event) under the given name into the computation.
+func UnitStepVar(seed int64, c *computation.Computation, name string) {
+	rng := rand.New(rand.NewSource(seed))
+	for p := 0; p < c.NumProcs(); p++ {
+		v := int64(rng.Intn(3) - 1)
+		for _, id := range c.ProcEvents(computation.ProcID(p)) {
+			if !c.Event(id).IsInitial() {
+				v += int64(rng.Intn(3) - 1)
+			}
+			c.SetVar(name, id, v)
+		}
+	}
+}
+
+// ArbitraryStepVar writes a random integer variable with per-event jumps
+// up to maxJump in magnitude.
+func ArbitraryStepVar(seed int64, c *computation.Computation, name string, maxJump int) {
+	rng := rand.New(rand.NewSource(seed))
+	for p := 0; p < c.NumProcs(); p++ {
+		v := int64(rng.Intn(2*maxJump+1) - maxJump)
+		for _, id := range c.ProcEvents(computation.ProcID(p)) {
+			if !c.Event(id).IsInitial() {
+				v += int64(rng.Intn(2*maxJump+1) - maxJump)
+			}
+			c.SetVar(name, id, v)
+		}
+	}
+}
+
+// BoolVar writes random 0/1 values under name, flipping with the given
+// probability at each event (a unit-step boolean).
+func BoolVar(seed int64, c *computation.Computation, name string, flipProb float64) {
+	rng := rand.New(rand.NewSource(seed))
+	for p := 0; p < c.NumProcs(); p++ {
+		v := int64(rng.Intn(2))
+		for _, id := range c.ProcEvents(computation.ProcID(p)) {
+			if !c.Event(id).IsInitial() && rng.Float64() < flipProb {
+				v = 1 - v
+			}
+			c.SetVar(name, id, v)
+		}
+	}
+}

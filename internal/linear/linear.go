@@ -1,0 +1,165 @@
+// Package linear implements detection of linear global predicates in the
+// sense of Chase & Garg ("Detection of global predicates: techniques and
+// their limitations", Distributed Computing 1995) — one of the tractable
+// classes in the paper's Figure 1 landscape.
+//
+// A predicate B is linear iff its satisfying cuts are closed under
+// intersection (lattice meet); equivalently, for every consistent cut not
+// satisfying B some process is "forbidden": no cut above the current one
+// can satisfy B without that process advancing. Linearity yields both a
+// detection algorithm and a canonical witness: the unique LEAST consistent
+// cut satisfying B, found by repeatedly advancing a forbidden process to
+// the least consistent cut containing its next event.
+//
+// Conjunctive predicates are the canonical linear predicates (a process
+// whose local predicate is false at the frontier is forbidden); the
+// Conjunctive helper adapts them to the Oracle interface.
+package linear
+
+import (
+	"fmt"
+
+	"github.com/distributed-predicates/gpd/internal/computation"
+)
+
+// NoProc is returned by Forbidden when the predicate already holds.
+const NoProc computation.ProcID = -1
+
+// Oracle evaluates a linear predicate and names forbidden processes.
+type Oracle interface {
+	// Holds evaluates the predicate at a consistent cut.
+	Holds(c *computation.Computation, k computation.Cut) bool
+	// Forbidden returns a process that must advance beyond its current
+	// frontier in any satisfying cut above k. It is called only when
+	// Holds(k) is false and must return a valid process; returning a
+	// non-forbidden process breaks the least-cut guarantee (but the
+	// algorithm still only reports cuts that satisfy the predicate).
+	Forbidden(c *computation.Computation, k computation.Cut) computation.ProcID
+}
+
+// FindLeast returns the least consistent cut satisfying the oracle's
+// predicate, or ok=false if no consistent cut satisfies it. The running
+// time is at most one advancement per event plus one oracle call each.
+func FindLeast(c *computation.Computation, o Oracle) (computation.Cut, bool) {
+	k := c.InitialCut()
+	for !o.Holds(c, k) {
+		p := o.Forbidden(c, k)
+		if p == NoProc {
+			return nil, false
+		}
+		if int(p) < 0 || int(p) >= c.NumProcs() {
+			panic(fmt.Sprintf("linear: oracle returned invalid process %d", p))
+		}
+		next := k[int(p)] + 1
+		if next >= c.Len(p) {
+			return nil, false // p cannot advance: no satisfying cut exists
+		}
+		// Advance to the least consistent cut containing p's next
+		// event: join the current cut with that event's causal ideal.
+		e := c.EventAt(p, next)
+		row := c.Clock(e.ID)
+		for q := range k {
+			if idx := int(row[q]) - 1; idx > k[q] {
+				k[q] = idx
+			}
+		}
+		if e.Index > k[int(p)] {
+			k[int(p)] = e.Index
+		}
+	}
+	return k, true
+}
+
+// Possibly reports whether some consistent cut satisfies the linear
+// predicate, with the least witness.
+func Possibly(c *computation.Computation, o Oracle) (bool, computation.Cut) {
+	k, ok := FindLeast(c, o)
+	return ok, k
+}
+
+// conjunctiveOracle adapts per-process local predicates.
+type conjunctiveOracle struct {
+	locals map[computation.ProcID]func(computation.Event) bool
+}
+
+// Conjunctive wraps a conjunction of local predicates as a linear oracle:
+// any process whose local predicate is false at the cut's frontier is
+// forbidden (its frontier state can never participate in a satisfying
+// cut without advancing).
+func Conjunctive(locals map[computation.ProcID]func(computation.Event) bool) Oracle {
+	return &conjunctiveOracle{locals: locals}
+}
+
+func (o *conjunctiveOracle) Holds(c *computation.Computation, k computation.Cut) bool {
+	for p, pred := range o.locals {
+		if !pred(c.EventAt(p, k[int(p)])) {
+			return false
+		}
+	}
+	return true
+}
+
+func (o *conjunctiveOracle) Forbidden(c *computation.Computation, k computation.Cut) computation.ProcID {
+	for p, pred := range o.locals {
+		if !pred(c.EventAt(p, k[int(p)])) {
+			return p
+		}
+	}
+	return NoProc
+}
+
+// sumAtLeastOracle makes "sum(name) >= k" a linear predicate when every
+// variable is non-decreasing along its process (e.g. monotone counters):
+// then the satisfying cuts are upward-closed per component and closed
+// under meet, and any process still below its final contribution is a
+// valid forbidden choice only when chosen carefully. For general
+// variables use the relsum package instead.
+type sumAtLeastOracle struct {
+	name string
+	k    int64
+}
+
+// MonotoneSumAtLeast builds a linear oracle for "sum(name) >= k" on
+// computations where the named variable never decreases on any process
+// (it is the caller's responsibility to guarantee monotonicity; see
+// ValidateMonotone).
+func MonotoneSumAtLeast(name string, k int64) Oracle {
+	return &sumAtLeastOracle{name: name, k: k}
+}
+
+func (o *sumAtLeastOracle) Holds(c *computation.Computation, k computation.Cut) bool {
+	return c.SumVar(o.name, k) >= o.k
+}
+
+func (o *sumAtLeastOracle) Forbidden(c *computation.Computation, k computation.Cut) computation.ProcID {
+	// With monotone variables any process that can still advance is a
+	// forbidden candidate whose advancement never hurts; pick the first
+	// that has events left.
+	for p := 0; p < c.NumProcs(); p++ {
+		if k[p]+1 < c.Len(computation.ProcID(p)) {
+			return computation.ProcID(p)
+		}
+	}
+	return NoProc
+}
+
+// ValidateMonotone reports an error if the named variable decreases at
+// some event.
+func ValidateMonotone(c *computation.Computation, name string) error {
+	var bad computation.Event
+	found := false
+	c.Events(func(e computation.Event) bool {
+		if e.IsInitial() {
+			return true
+		}
+		if c.Var(name, e.ID) < c.Var(name, c.Prev(e.ID)) {
+			bad, found = e, true
+			return false
+		}
+		return true
+	})
+	if found {
+		return fmt.Errorf("linear: variable %q decreases at event %v", name, bad)
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package linear
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/distributed-predicates/gpd/internal/computation"
+	"github.com/distributed-predicates/gpd/internal/conjunctive"
+	"github.com/distributed-predicates/gpd/internal/gen"
+	"github.com/distributed-predicates/gpd/internal/lattice"
+)
+
+func localsFromTables(truth [][]bool) map[computation.ProcID]func(computation.Event) bool {
+	locals := make(map[computation.ProcID]func(computation.Event) bool)
+	for p, row := range truth {
+		row := row
+		locals[computation.ProcID(p)] = func(e computation.Event) bool {
+			return e.Index < len(row) && row[e.Index]
+		}
+	}
+	return locals
+}
+
+// TestConjunctiveAgreesWithCPDHB cross-checks the linear-predicate
+// detector against the dedicated conjunctive detector.
+func TestConjunctiveAgreesWithCPDHB(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		c := gen.Random(gen.Params{Seed: seed, Procs: 3, Events: 5, MsgFrac: 0.6})
+		truth := gen.BoolTables(seed+1000, c, 0.4)
+		want := conjunctive.DetectTables(c, truth)
+		got, cut := Possibly(c, Conjunctive(localsFromTables(truth)))
+		if got != want.Found {
+			t.Fatalf("seed %d: linear = %v, CPDHB = %v", seed, got, want.Found)
+		}
+		if got {
+			if !c.CutConsistent(cut) {
+				t.Fatalf("seed %d: witness %v inconsistent", seed, cut)
+			}
+			for p, row := range truth {
+				if !row[cut[p]] {
+					t.Fatalf("seed %d: witness %v violates local predicate of %d", seed, cut, p)
+				}
+			}
+		}
+	}
+}
+
+// TestFindLeastReturnsTheLeastCut verifies the canonical-witness property:
+// the returned cut is the meet of all satisfying cuts.
+func TestFindLeastReturnsTheLeastCut(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		c := gen.Random(gen.Params{Seed: rng.Int63(), Procs: 3, Events: 4, MsgFrac: 0.5})
+		truth := gen.BoolTables(rng.Int63(), c, 0.5)
+		o := Conjunctive(localsFromTables(truth))
+		got, ok := FindLeast(c, o)
+		// Compute the meet of all satisfying cuts exhaustively.
+		var meet computation.Cut
+		lattice.Explore(c, func(k computation.Cut) bool {
+			if !o.Holds(c, k) {
+				return true
+			}
+			if meet == nil {
+				meet = k.Clone()
+				return true
+			}
+			for i := range meet {
+				if k[i] < meet[i] {
+					meet[i] = k[i]
+				}
+			}
+			return true
+		})
+		if !ok {
+			if meet != nil {
+				t.Fatalf("trial %d: FindLeast missed satisfying cuts (meet %v)", trial, meet)
+			}
+			continue
+		}
+		if meet == nil {
+			t.Fatalf("trial %d: FindLeast returned %v but no cut satisfies", trial, got)
+		}
+		if !got.Equal(meet) {
+			t.Fatalf("trial %d: FindLeast = %v, meet of satisfying cuts = %v", trial, got, meet)
+		}
+	}
+}
+
+func TestMonotoneSumAtLeast(t *testing.T) {
+	// Two processes with monotone counters: p0 counts 0,1,2; p1 counts
+	// 0,0,3.
+	c := computation.New()
+	p0 := c.AddProcess()
+	p1 := c.AddProcess()
+	a1 := c.AddInternal(p0)
+	a2 := c.AddInternal(p0)
+	b1 := c.AddInternal(p1)
+	b2 := c.AddInternal(p1)
+	c.SetVar("n", a1, 1)
+	c.SetVar("n", a2, 2)
+	c.SetVar("n", b1, 0)
+	c.SetVar("n", b2, 3)
+	c.MustSeal()
+	if err := ValidateMonotone(c, "n"); err != nil {
+		t.Fatal(err)
+	}
+	ok, cut := Possibly(c, MonotoneSumAtLeast("n", 4))
+	if !ok {
+		t.Fatal("sum reaches 5 at the final cut")
+	}
+	if got := c.SumVar("n", cut); got < 4 {
+		t.Fatalf("witness sum = %d, want >= 4", got)
+	}
+	ok, _ = Possibly(c, MonotoneSumAtLeast("n", 6))
+	if ok {
+		t.Fatal("sum never reaches 6")
+	}
+}
+
+func TestValidateMonotoneDetectsDecrease(t *testing.T) {
+	c := computation.New()
+	p := c.AddProcess()
+	a := c.AddInternal(p)
+	b := c.AddInternal(p)
+	c.SetVar("n", a, 5)
+	c.SetVar("n", b, 3)
+	c.MustSeal()
+	if err := ValidateMonotone(c, "n"); err == nil {
+		t.Fatal("decrease must be reported")
+	}
+}
+
+func TestImpossiblePredicate(t *testing.T) {
+	c := gen.Random(gen.Params{Seed: 1, Procs: 2, Events: 3, MsgFrac: 0})
+	o := Conjunctive(map[computation.ProcID]func(computation.Event) bool{
+		0: func(computation.Event) bool { return false },
+	})
+	if ok, _ := Possibly(c, o); ok {
+		t.Fatal("constant-false local predicate cannot be satisfied")
+	}
+}
+
+func TestEmptyOracle(t *testing.T) {
+	c := gen.Random(gen.Params{Seed: 2, Procs: 2, Events: 2, MsgFrac: 0})
+	ok, cut := Possibly(c, Conjunctive(nil))
+	if !ok || cut.Size() != 0 {
+		t.Fatalf("empty conjunction must hold at the initial cut, got %v %v", ok, cut)
+	}
+}

@@ -1,0 +1,88 @@
+// Package matching implements Hopcroft–Karp maximum bipartite matching.
+// It is the engine behind minimum chain covers (Dilworth's theorem via
+// Fulkerson's reduction) in the chains package.
+package matching
+
+// Bipartite is a bipartite graph with nL left and nR right vertices.
+type Bipartite struct {
+	nL, nR int
+	adj    [][]int
+}
+
+// NewBipartite returns an empty bipartite graph.
+func NewBipartite(nL, nR int) *Bipartite {
+	return &Bipartite{nL: nL, nR: nR, adj: make([][]int, nL)}
+}
+
+// AddEdge connects left vertex u to right vertex v.
+func (b *Bipartite) AddEdge(u, v int) {
+	b.adj[u] = append(b.adj[u], v)
+}
+
+const unmatched = -1
+
+// MaxMatching computes a maximum matching with the Hopcroft–Karp algorithm.
+// It returns the matching size and, for each left vertex, its matched right
+// vertex (or -1).
+func (b *Bipartite) MaxMatching() (int, []int) {
+	matchL := make([]int, b.nL)
+	matchR := make([]int, b.nR)
+	for i := range matchL {
+		matchL[i] = unmatched
+	}
+	for i := range matchR {
+		matchR[i] = unmatched
+	}
+	dist := make([]int, b.nL)
+	size := 0
+	for b.bfs(matchL, matchR, dist) {
+		for u := 0; u < b.nL; u++ {
+			if matchL[u] == unmatched && b.dfs(u, matchL, matchR, dist) {
+				size++
+			}
+		}
+	}
+	return size, matchL
+}
+
+const inf = int(^uint(0) >> 1)
+
+func (b *Bipartite) bfs(matchL, matchR, dist []int) bool {
+	queue := make([]int, 0, b.nL)
+	for u := 0; u < b.nL; u++ {
+		if matchL[u] == unmatched {
+			dist[u] = 0
+			queue = append(queue, u)
+		} else {
+			dist[u] = inf
+		}
+	}
+	found := false
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range b.adj[u] {
+			w := matchR[v]
+			if w == unmatched {
+				found = true
+			} else if dist[w] == inf {
+				dist[w] = dist[u] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return found
+}
+
+func (b *Bipartite) dfs(u int, matchL, matchR, dist []int) bool {
+	for _, v := range b.adj[u] {
+		w := matchR[v]
+		if w == unmatched || (dist[w] == dist[u]+1 && b.dfs(w, matchL, matchR, dist)) {
+			matchL[u] = v
+			matchR[v] = u
+			return true
+		}
+	}
+	dist[u] = inf
+	return false
+}

@@ -1,0 +1,126 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPerfectMatching(t *testing.T) {
+	b := NewBipartite(3, 3)
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 1)
+	b.AddEdge(2, 2)
+	size, matchL := b.MaxMatching()
+	if size != 3 {
+		t.Fatalf("size = %d, want 3", size)
+	}
+	seen := make(map[int]bool)
+	for u, v := range matchL {
+		if v < 0 {
+			t.Fatalf("left %d unmatched", u)
+		}
+		if seen[v] {
+			t.Fatalf("right %d matched twice", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestNoEdges(t *testing.T) {
+	b := NewBipartite(2, 2)
+	size, matchL := b.MaxMatching()
+	if size != 0 {
+		t.Fatalf("size = %d, want 0", size)
+	}
+	for _, v := range matchL {
+		if v != -1 {
+			t.Fatalf("matchL = %v, want all -1", matchL)
+		}
+	}
+}
+
+func TestAugmentingPathNeeded(t *testing.T) {
+	// Greedy might match 0-0 and block 1; max matching is 2 via 0-1, 1-0.
+	b := NewBipartite(2, 2)
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	size, _ := b.MaxMatching()
+	if size != 2 {
+		t.Fatalf("size = %d, want 2", size)
+	}
+}
+
+// bruteMatching enumerates assignments for small graphs.
+func bruteMatching(nL, nR int, adj [][]int) int {
+	best := 0
+	usedR := make([]bool, nR)
+	var rec func(u, count int)
+	rec = func(u, count int) {
+		if count > best {
+			best = count
+		}
+		if u == nL {
+			return
+		}
+		rec(u+1, count) // leave u unmatched
+		for _, v := range adj[u] {
+			if !usedR[v] {
+				usedR[v] = true
+				rec(u+1, count+1)
+				usedR[v] = false
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func TestRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 200; trial++ {
+		nL := 1 + rng.Intn(6)
+		nR := 1 + rng.Intn(6)
+		b := NewBipartite(nL, nR)
+		adj := make([][]int, nL)
+		for u := 0; u < nL; u++ {
+			for v := 0; v < nR; v++ {
+				if rng.Intn(3) == 0 {
+					b.AddEdge(u, v)
+					adj[u] = append(adj[u], v)
+				}
+			}
+		}
+		want := bruteMatching(nL, nR, adj)
+		got, matchL := b.MaxMatching()
+		if got != want {
+			t.Fatalf("trial %d: size = %d, brute = %d", trial, got, want)
+		}
+		// Validate the matching itself.
+		seen := make(map[int]bool)
+		n := 0
+		for u, v := range matchL {
+			if v < 0 {
+				continue
+			}
+			ok := false
+			for _, w := range adj[u] {
+				if w == v {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatalf("trial %d: matched non-edge %d-%d", trial, u, v)
+			}
+			if seen[v] {
+				t.Fatalf("trial %d: right %d matched twice", trial, v)
+			}
+			seen[v] = true
+			n++
+		}
+		if n != got {
+			t.Fatalf("trial %d: reported %d, actual %d", trial, got, n)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package monitor provides passive online detection of weak conjunctive
+// predicates in a running (or simulated) distributed application, in the
+// style of Garg & Waldecker: every process carries a Probe that maintains
+// its vector clock and reports the timestamps of its true events to a
+// central checker goroutine; the checker runs the queue-elimination
+// algorithm (conjunctive.Checker) incrementally and announces the first
+// consistent global state in which every local predicate holds.
+//
+// The monitor is transport-agnostic: applications call Probe.Send to stamp
+// outgoing messages and Probe.Receive on delivery, piggybacking the vector
+// clocks on whatever channel they already use.
+package monitor
+
+import (
+	"sync"
+
+	"github.com/distributed-predicates/gpd/internal/conjunctive"
+	"github.com/distributed-predicates/gpd/internal/vclock"
+)
+
+// Monitor owns the checker goroutine.
+type Monitor struct {
+	n        int
+	obs      chan observation
+	stop     chan struct{}
+	done     chan struct{}
+	detected chan struct{}
+
+	mu      sync.Mutex
+	witness []vclock.VC
+}
+
+type observation struct {
+	proc int
+	vc   vclock.VC
+}
+
+// New starts a monitor for n processes, detecting the conjunction of the
+// local predicates of the involved processes. Call Shutdown when done.
+func New(n int, involved []int) *Monitor {
+	m := &Monitor{
+		n:        n,
+		obs:      make(chan observation, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		detected: make(chan struct{}),
+	}
+	checker := conjunctive.NewChecker(involved)
+	go m.run(checker)
+	return m
+}
+
+// run is the checker loop; it is the only goroutine touching checker.
+func (m *Monitor) run(checker *conjunctive.Checker) {
+	defer close(m.done)
+	found := false
+	for {
+		select {
+		case o := <-m.obs:
+			if !found && checker.Observe(o.proc, o.vc) {
+				found = true
+				m.mu.Lock()
+				m.witness = checker.Witness()
+				m.mu.Unlock()
+				close(m.detected)
+			}
+		case <-m.stop:
+			return
+		}
+	}
+}
+
+// Detected returns a channel closed when the predicate has been detected.
+func (m *Monitor) Detected() <-chan struct{} { return m.detected }
+
+// Witness returns the vector timestamps of the detected true events (one
+// per involved process), or nil if nothing has been detected yet.
+func (m *Monitor) Witness() []vclock.VC {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.witness == nil {
+		return nil
+	}
+	out := make([]vclock.VC, len(m.witness))
+	for i, vc := range m.witness {
+		out[i] = vc.Clone()
+	}
+	return out
+}
+
+// Shutdown stops the checker goroutine and waits for it to exit.
+func (m *Monitor) Shutdown() {
+	close(m.stop)
+	<-m.done
+}
+
+// Probe instruments one application process. A Probe is confined to its
+// process's goroutine; only the report channel crosses goroutines.
+type Probe struct {
+	mon   *Monitor
+	clock *vclock.Clock
+}
+
+// Probe creates the instrument for process p.
+func (m *Monitor) Probe(p int) *Probe {
+	return &Probe{mon: m, clock: vclock.NewClock(p, m.n)}
+}
+
+// report sends a true-event timestamp to the checker, not blocking forever
+// if the monitor has been shut down.
+func (pr *Probe) report(vc vclock.VC) {
+	select {
+	case pr.mon.obs <- observation{proc: pr.clock.Self(), vc: vc}:
+	case <-pr.mon.stop:
+	}
+}
+
+// Internal records an internal event; truth is the local predicate value
+// in the new state.
+func (pr *Probe) Internal(truth bool) {
+	vc := pr.clock.Event()
+	if truth {
+		pr.report(vc)
+	}
+}
+
+// Send records a send event and returns the vector timestamp to piggyback
+// on the outgoing message.
+func (pr *Probe) Send(truth bool) vclock.VC {
+	vc := pr.clock.Send()
+	if truth {
+		pr.report(vc)
+	}
+	return vc
+}
+
+// Receive records the delivery of a message carrying the given timestamp.
+func (pr *Probe) Receive(stamp vclock.VC, truth bool) {
+	vc := pr.clock.Receive(stamp)
+	if truth {
+		pr.report(vc)
+	}
+}

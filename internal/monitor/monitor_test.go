@@ -1,0 +1,178 @@
+package monitor
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/distributed-predicates/gpd/internal/vclock"
+)
+
+func waitDetected(t *testing.T, m *Monitor) bool {
+	t.Helper()
+	select {
+	case <-m.Detected():
+		return true
+	case <-time.After(2 * time.Second):
+		return false
+	}
+}
+
+func TestDetectsConcurrentTrueEvents(t *testing.T) {
+	m := New(2, []int{0, 1})
+	defer m.Shutdown()
+	p0 := m.Probe(0)
+	p1 := m.Probe(1)
+	p0.Internal(true)
+	p1.Internal(true)
+	if !waitDetected(t, m) {
+		t.Fatal("concurrent true events not detected")
+	}
+	w := m.Witness()
+	if len(w) != 2 {
+		t.Fatalf("witness = %v", w)
+	}
+}
+
+func TestDoesNotDetectOrderedTrueEvents(t *testing.T) {
+	m := New(2, []int{0, 1})
+	defer m.Shutdown()
+	p0 := m.Probe(0)
+	p1 := m.Probe(1)
+	// p0 is true only before sending; p1 true only after receiving and
+	// then a later local event on p0's side invalidates... Construct:
+	// p0 true event, then p0 sends; p1 receives, then p1 true event.
+	// The receive knows of 2 events on p0 > the true event's 1: the
+	// pair is inconsistent and nothing else is true.
+	p0.Internal(true)
+	stamp := p0.Send(false)
+	p1.Receive(stamp, false)
+	p1.Internal(true)
+	// Give the checker a moment.
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case <-m.Detected():
+		t.Fatal("ordered true events must not be detected")
+	default:
+	}
+	if m.Witness() != nil {
+		t.Fatal("witness must be nil")
+	}
+}
+
+func TestDetectsAfterElimination(t *testing.T) {
+	m := New(2, []int{0, 1})
+	defer m.Shutdown()
+	p0 := m.Probe(0)
+	p1 := m.Probe(1)
+	// First p0 true event is superseded (p1 has seen past it), but a
+	// second, concurrent one completes the conjunction.
+	p0.Internal(true)
+	stamp := p0.Send(false)
+	p1.Receive(stamp, false)
+	p1.Internal(true)
+	p0.Internal(true)
+	if !waitDetected(t, m) {
+		t.Fatal("fresh concurrent true event not detected")
+	}
+}
+
+func TestConcurrentProcessesGoroutines(t *testing.T) {
+	// Three goroutine processes exchanging stamped messages over Go
+	// channels; each becomes true once. All true events are concurrent
+	// (no messages between the flips), so detection must fire.
+	const n = 3
+	m := New(n, []int{0, 1, 2})
+	defer m.Shutdown()
+	chans := make([]chan vclock.VC, n)
+	for i := range chans {
+		chans[i] = make(chan vclock.VC, n)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(me int) {
+			defer wg.Done()
+			pr := m.Probe(me)
+			pr.Internal(false)
+			pr.Internal(true) // the conjunct flips true
+			// Then gossip to everyone (after the true events, so the
+			// true states remain pairwise consistent).
+			stamp := pr.Send(true)
+			for j := 0; j < n; j++ {
+				if j != me {
+					chans[j] <- stamp
+				}
+			}
+			for j := 0; j < n-1; j++ {
+				pr.Receive(<-chans[me], true)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if !waitDetected(t, m) {
+		t.Fatal("conjunction not detected in goroutine run")
+	}
+	w := m.Witness()
+	if len(w) != 3 {
+		t.Fatalf("witness = %v", w)
+	}
+	// Witness must be pairwise consistent: no component observed past
+	// another's own component.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i != j && w[j][i] > w[i][i] {
+				t.Fatalf("witness not consistent: w[%d]=%v has seen past w[%d]=%v", j, w[j], i, w[i])
+			}
+		}
+	}
+}
+
+func TestShutdownUnblocksProbes(t *testing.T) {
+	m := New(1, []int{0})
+	p0 := m.Probe(0)
+	m.Shutdown()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			p0.Internal(true) // must not block after shutdown
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("probe blocked after shutdown")
+	}
+}
+
+func TestWitnessIsCopy(t *testing.T) {
+	m := New(2, []int{0, 1})
+	defer m.Shutdown()
+	m.Probe(0).Internal(true)
+	m.Probe(1).Internal(true)
+	if !waitDetected(t, m) {
+		t.Fatal("not detected")
+	}
+	w := m.Witness()
+	w[0][0] = 99
+	if m.Witness()[0][0] == 99 {
+		t.Fatal("Witness must return a copy")
+	}
+}
+
+func TestProbeSendCarriesTruth(t *testing.T) {
+	m := New(2, []int{0, 1})
+	defer m.Shutdown()
+	p0 := m.Probe(0)
+	p1 := m.Probe(1)
+	// A true SEND event must be reported like any other true event. The
+	// sender's state remains true while the message is in flight, so it
+	// is consistent with the receiver's post-delivery true state: the
+	// conjunction must be detected.
+	stamp := p0.Send(true)
+	p1.Receive(stamp, true)
+	if !waitDetected(t, m) {
+		t.Fatal("send-reported truth did not participate in detection")
+	}
+}

@@ -1,0 +1,221 @@
+package monitor
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/distributed-predicates/gpd/internal/vclock"
+)
+
+// This file provides a TCP transport for the online checker, so monitored
+// processes can run in separate OS processes or machines: each process
+// dials the checker and streams newline-delimited JSON observations; the
+// checker answers each with the current detection status, and pushes the
+// final witness to anyone who asks.
+
+// wireObservation is one reported true event.
+type wireObservation struct {
+	Proc int       `json:"proc"`
+	VC   vclock.VC `json:"vc"`
+}
+
+// wireStatus is the checker's reply to every observation.
+type wireStatus struct {
+	Detected bool        `json:"detected"`
+	Witness  []vclock.VC `json:"witness,omitempty"`
+}
+
+// Server runs the conjunctive checker behind a TCP listener.
+type Server struct {
+	mon *Monitor
+	ln  net.Listener
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+	done  chan struct{}
+}
+
+// ListenAndServe starts a checker server on addr (e.g. "127.0.0.1:0") for
+// n processes and the given involved set. Close releases it.
+func ListenAndServe(addr string, n int, involved []int) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: listen: %w", err)
+	}
+	s := &Server{
+		mon:   New(n, involved),
+		ln:    ln,
+		conns: make(map[net.Conn]struct{}),
+		done:  make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener address to hand to probes.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Detected exposes the underlying monitor's detection channel.
+func (s *Server) Detected() <-chan struct{} { return s.mon.Detected() }
+
+// Witness exposes the underlying monitor's witness.
+func (s *Server) Witness() []vclock.VC { return s.mon.Witness() }
+
+// Close stops accepting, closes all connections and shuts the checker
+// down.
+func (s *Server) Close() error {
+	close(s.done)
+	err := s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.mon.Shutdown()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				// Transient accept error: keep serving.
+				continue
+			}
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var obs wireObservation
+		if err := dec.Decode(&obs); err != nil {
+			return // EOF or broken connection: the probe is done
+		}
+		// Forward into the checker goroutine.
+		select {
+		case s.mon.obs <- observation{proc: obs.Proc, vc: obs.VC}:
+		case <-s.mon.stop:
+			return
+		}
+		st := wireStatus{}
+		// The checker processes observations asynchronously; report
+		// the status as of now (detection latches, so a positive
+		// answer is always correct and a lagging negative is refined
+		// by the next observation or by Detected()).
+		select {
+		case <-s.mon.Detected():
+			st.Detected = true
+			st.Witness = s.mon.Witness()
+		default:
+		}
+		if err := enc.Encode(st); err != nil {
+			return
+		}
+	}
+}
+
+// RemoteProbe instruments one process against a remote checker server. It
+// owns the process's vector clock, like Probe, but ships observations
+// over TCP. Confine a RemoteProbe to one goroutine.
+type RemoteProbe struct {
+	clock    *vclock.Clock
+	conn     net.Conn
+	enc      *json.Encoder
+	dec      *json.Decoder
+	detected bool
+}
+
+// DialProbe connects process p (of n) to the checker at addr.
+func DialProbe(addr string, p, n int) (*RemoteProbe, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: dial checker: %w", err)
+	}
+	return &RemoteProbe{
+		clock: vclock.NewClock(p, n),
+		conn:  conn,
+		enc:   json.NewEncoder(conn),
+		dec:   json.NewDecoder(bufio.NewReader(conn)),
+	}, nil
+}
+
+// Close releases the connection.
+func (rp *RemoteProbe) Close() error { return rp.conn.Close() }
+
+// Detected reports whether the checker has announced detection on this
+// connection.
+func (rp *RemoteProbe) Detected() bool { return rp.detected }
+
+func (rp *RemoteProbe) report(vc vclock.VC) error {
+	if err := rp.enc.Encode(wireObservation{Proc: rp.clock.Self(), VC: vc}); err != nil {
+		return fmt.Errorf("monitor: send observation: %w", err)
+	}
+	var st wireStatus
+	if err := rp.dec.Decode(&st); err != nil {
+		if errors.Is(err, io.EOF) {
+			return fmt.Errorf("monitor: checker closed the connection: %w", err)
+		}
+		return fmt.Errorf("monitor: read status: %w", err)
+	}
+	if st.Detected {
+		rp.detected = true
+	}
+	return nil
+}
+
+// Internal records an internal event, reporting it when truth holds.
+func (rp *RemoteProbe) Internal(truth bool) error {
+	vc := rp.clock.Event()
+	if truth {
+		return rp.report(vc)
+	}
+	return nil
+}
+
+// Send records a send event and returns the timestamp to piggyback.
+func (rp *RemoteProbe) Send(truth bool) (vclock.VC, error) {
+	vc := rp.clock.Send()
+	if truth {
+		if err := rp.report(vc); err != nil {
+			return nil, err
+		}
+	}
+	return vc, nil
+}
+
+// Receive records a message delivery carrying the given timestamp.
+func (rp *RemoteProbe) Receive(stamp vclock.VC, truth bool) error {
+	vc := rp.clock.Receive(stamp)
+	if truth {
+		return rp.report(vc)
+	}
+	return nil
+}

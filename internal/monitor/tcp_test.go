@@ -1,0 +1,189 @@
+package monitor
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTCPDetectsConcurrentTrueEvents(t *testing.T) {
+	s, err := ListenAndServe("127.0.0.1:0", 2, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	p0, err := DialProbe(s.Addr(), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p0.Close()
+	p1, err := DialProbe(s.Addr(), 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p1.Close()
+	if err := p0.Internal(true); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Internal(true); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-s.Detected():
+	case <-time.After(3 * time.Second):
+		t.Fatal("detection did not fire over TCP")
+	}
+	if w := s.Witness(); len(w) != 2 {
+		t.Fatalf("witness = %v", w)
+	}
+}
+
+func TestTCPOrderedNotDetected(t *testing.T) {
+	s, err := ListenAndServe("127.0.0.1:0", 2, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	p0, err := DialProbe(s.Addr(), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p0.Close()
+	p1, err := DialProbe(s.Addr(), 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p1.Close()
+	// p0 true, then sends (false state); p1 receives then its only true
+	// event — inconsistent with p0's.
+	if err := p0.Internal(true); err != nil {
+		t.Fatal(err)
+	}
+	stamp, err := p0.Send(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Receive(stamp, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Internal(true); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	select {
+	case <-s.Detected():
+		t.Fatal("ordered true events must not be detected")
+	default:
+	}
+}
+
+func TestTCPStatusPiggyback(t *testing.T) {
+	s, err := ListenAndServe("127.0.0.1:0", 2, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	p0, err := DialProbe(s.Addr(), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p0.Close()
+	p1, err := DialProbe(s.Addr(), 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p1.Close()
+	if err := p0.Internal(true); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Internal(true); err != nil {
+		t.Fatal(err)
+	}
+	<-s.Detected()
+	// The next report must carry detected=true back to the probe.
+	if err := p0.Internal(true); err != nil {
+		t.Fatal(err)
+	}
+	if !p0.Detected() {
+		t.Fatal("probe did not learn about the detection")
+	}
+}
+
+func TestTCPManyProcessesConcurrently(t *testing.T) {
+	const n = 5
+	involved := []int{0, 1, 2, 3, 4}
+	s, err := ListenAndServe("127.0.0.1:0", n, involved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(me int) {
+			defer wg.Done()
+			pr, err := DialProbe(s.Addr(), me, n)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer pr.Close()
+			// A few false internal steps, then the true event; no
+			// messages so all true events are concurrent.
+			pr.Internal(false)
+			pr.Internal(false)
+			if err := pr.Internal(true); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case <-s.Detected():
+	case <-time.After(3 * time.Second):
+		t.Fatal("five concurrent true events not detected")
+	}
+	w := s.Witness()
+	if len(w) != n {
+		t.Fatalf("witness size %d, want %d", len(w), n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && w[j][i] > w[i][i] {
+				t.Fatalf("witness not pairwise consistent: %v", w)
+			}
+		}
+	}
+}
+
+func TestServerCloseUnblocks(t *testing.T) {
+	s, err := ListenAndServe("127.0.0.1:0", 1, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := DialProbe(s.Addr(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Logf("close: %v", err)
+	}
+	// Reporting after close fails but must not hang.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = pr.Internal(true)
+	}()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("probe hung after server close")
+	}
+	pr.Close()
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := DialProbe("127.0.0.1:1", 0, 1); err == nil {
+		t.Fatal("dialing a closed port must fail")
+	}
+}

@@ -1,0 +1,114 @@
+// Package relmon provides online monitoring of two-process relational sum
+// predicates, in the spirit of Garg & Waldecker's original unstable-
+// predicate detector ([8] in the paper): two processes stream their local
+// states (variable value plus vector timestamp) to a checker that
+// maintains the exact minimum and maximum of x0 + x1 over all consistent
+// state pairs seen so far. Any Possibly(x0 + x1 relop k) query is then
+// answered immediately, while the paper's Theorem 7 extends equality
+// queries to unit-step variables.
+//
+// The checker stores only states that may still pair with a future state
+// of the other process: once the other process's latest state causally
+// knows a state's successor, that state can never again be part of a
+// consistent pair and is pruned — the same elimination inequality that
+// drives conjunctive detection. Under regular synchronization the queues
+// stay O(1).
+package relmon
+
+import (
+	"math"
+
+	"github.com/distributed-predicates/gpd/internal/vclock"
+)
+
+// state is one reported local state.
+type state struct {
+	value int64
+	vc    vclock.VC
+}
+
+// SumMonitor tracks min/max of x0 + x1 over consistent state pairs.
+// Confine to one goroutine (wrap like monitor.Monitor for concurrency).
+type SumMonitor struct {
+	queues [2][]state
+	min    int64
+	max    int64
+	seen   bool
+	// Pruned counts discarded states; exported via Stats.
+	pruned int
+	stored int
+}
+
+// NewSumMonitor returns an empty monitor. Observe each process's states in
+// local order, starting with its initial state (zero timestamp except the
+// local component).
+func NewSumMonitor() *SumMonitor {
+	return &SumMonitor{min: math.MaxInt64, max: math.MinInt64}
+}
+
+// Observe reports the state of process p (0 or 1) with value v and vector
+// timestamp vc (2 components). States of one process must arrive in local
+// order; the two streams may interleave arbitrarily.
+func (m *SumMonitor) Observe(p int, v int64, vc vclock.VC) {
+	q := 1 - p
+	s := state{value: v, vc: vc.Clone()}
+	// Evaluate against every stored state of the other process that is
+	// consistent with s: neither side's successor is known to the other.
+	for _, o := range m.queues[q] {
+		if s.vc[q] <= o.vc[q] && o.vc[p] <= s.vc[p] {
+			sum := s.value + o.value
+			if sum < m.min {
+				m.min = sum
+			}
+			if sum > m.max {
+				m.max = sum
+			}
+			m.seen = true
+		}
+	}
+	// Prune other-process states whose successor s already knows: no
+	// future state of p (knowing at least as much as s) can pair with
+	// them.
+	kept := m.queues[q][:0]
+	for _, o := range m.queues[q] {
+		if s.vc[q] > o.vc[q] {
+			m.pruned++
+			continue
+		}
+		kept = append(kept, o)
+	}
+	m.queues[q] = kept
+	// Store s unless the other side's latest state already rules it out.
+	if n := len(m.queues[q]); n > 0 {
+		latest := m.queues[q][n-1]
+		if latest.vc[p] > s.vc[p] {
+			m.pruned++
+			return
+		}
+	}
+	m.queues[p] = append(m.queues[p], s)
+	m.stored++
+}
+
+// Known reports whether at least one consistent pair has been observed.
+func (m *SumMonitor) Known() bool { return m.seen }
+
+// Min returns the minimum of x0 + x1 over all consistent pairs observed
+// so far (undefined before Known).
+func (m *SumMonitor) Min() int64 { return m.min }
+
+// Max returns the maximum so far (undefined before Known).
+func (m *SumMonitor) Max() int64 { return m.max }
+
+// PossiblyEq reports whether x0 + x1 == k is possible given the states so
+// far, assuming unit-step variables (Theorem 7(1): k is possible iff it
+// lies within [Min, Max]).
+func (m *SumMonitor) PossiblyEq(k int64) bool {
+	return m.seen && m.min <= k && k <= m.max
+}
+
+// Stats returns bookkeeping counters: states currently stored and states
+// pruned so far.
+func (m *SumMonitor) Stats() (stored, pruned int) {
+	return len(m.queues[0]) + len(m.queues[1]), m.pruned
+}

@@ -1,0 +1,162 @@
+package relmon
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/distributed-predicates/gpd/internal/computation"
+	"github.com/distributed-predicates/gpd/internal/core/relsum"
+	"github.com/distributed-predicates/gpd/internal/vclock"
+)
+
+// replay streams a random two-process computation through the monitor in
+// a random linearization, with online vector clocks, and returns the
+// monitor.
+func replay(t *testing.T, rng *rand.Rand, c *computation.Computation) *SumMonitor {
+	t.Helper()
+	m := NewSumMonitor()
+	clocks := []*vclock.Clock{vclock.NewClock(0, 2), vclock.NewClock(1, 2)}
+	stampOf := make(map[computation.EventID]vclock.VC)
+	// Initial states first (zero clocks are fine: nothing is known).
+	m.Observe(0, c.Var("x", c.Initial(0).ID), clocks[0].Now())
+	m.Observe(1, c.Var("x", c.Initial(1).ID), clocks[1].Now())
+	k := c.InitialCut()
+	for !k.Equal(c.FinalCut()) {
+		en := c.Enabled(k)
+		id := en[rng.Intn(len(en))]
+		e := c.Event(id)
+		var incoming vclock.VC
+		for _, pre := range c.DirectPreds(id) {
+			if c.Event(pre).Proc != e.Proc {
+				if incoming == nil {
+					incoming = stampOf[pre].Clone()
+				} else {
+					incoming.Merge(stampOf[pre])
+				}
+			}
+		}
+		var stamp vclock.VC
+		if incoming != nil {
+			stamp = clocks[int(e.Proc)].Receive(incoming)
+		} else {
+			stamp = clocks[int(e.Proc)].Event()
+		}
+		stampOf[id] = stamp
+		m.Observe(int(e.Proc), c.Var("x", id), stamp)
+		k = c.Execute(k, e.Proc)
+	}
+	return m
+}
+
+func randomTwoProc(rng *rand.Rand) *computation.Computation {
+	c := computation.New()
+	for p := 0; p < 2; p++ {
+		c.AddProcess()
+		v := int64(rng.Intn(3) - 1)
+		c.SetVar("x", c.Initial(computation.ProcID(p)).ID, v)
+		n := 1 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			id := c.AddInternal(computation.ProcID(p))
+			v += int64(rng.Intn(3) - 1)
+			c.SetVar("x", id, v)
+		}
+	}
+	for tries := 0; tries < 6; tries++ {
+		p := computation.ProcID(rng.Intn(2))
+		q := 1 - p
+		i := 1 + rng.Intn(c.Len(p)-1)
+		j := 1 + rng.Intn(c.Len(q)-1)
+		if i < j {
+			_ = c.AddMessage(c.EventAt(p, i).ID, c.EventAt(q, j).ID)
+		}
+	}
+	return c.MustSeal()
+}
+
+func TestOnlineMatchesOfflineSumRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(457))
+	for trial := 0; trial < 200; trial++ {
+		c := randomTwoProc(rng)
+		m := replay(t, rng, c)
+		if !m.Known() {
+			t.Fatalf("trial %d: no consistent pair observed", trial)
+		}
+		wantMin, wantMax := relsum.SumRange(c, "x")
+		if m.Min() != wantMin || m.Max() != wantMax {
+			t.Fatalf("trial %d: online [%d,%d], offline [%d,%d]",
+				trial, m.Min(), m.Max(), wantMin, wantMax)
+		}
+		for k := wantMin - 1; k <= wantMax+1; k++ {
+			want := k >= wantMin && k <= wantMax
+			if got := m.PossiblyEq(k); got != want {
+				t.Fatalf("trial %d: PossiblyEq(%d) = %v, want %v", trial, k, got, want)
+			}
+		}
+	}
+}
+
+func TestPruningBoundsMemory(t *testing.T) {
+	// A tightly synchronized ping-pong: the queues must stay small even
+	// after many observations.
+	m := NewSumMonitor()
+	c0 := vclock.NewClock(0, 2)
+	c1 := vclock.NewClock(1, 2)
+	m.Observe(0, 0, c0.Now())
+	m.Observe(1, 0, c1.Now())
+	for round := 0; round < 500; round++ {
+		s := c0.Send()
+		m.Observe(0, int64(round%2), s)
+		r := c1.Receive(s)
+		m.Observe(1, int64(round%3), r)
+		s2 := c1.Send()
+		m.Observe(1, 0, s2)
+		r2 := c0.Receive(s2)
+		m.Observe(0, 0, r2)
+	}
+	stored, pruned := m.Stats()
+	if stored > 8 {
+		t.Fatalf("stored %d states; pruning broken", stored)
+	}
+	if pruned < 1000 {
+		t.Fatalf("pruned only %d states over 2000 observations", pruned)
+	}
+}
+
+func TestUnsynchronizedKeepsAll(t *testing.T) {
+	// With no messages everything is concurrent: every pair is
+	// consistent and min/max must span all combinations.
+	m := NewSumMonitor()
+	c0 := vclock.NewClock(0, 2)
+	c1 := vclock.NewClock(1, 2)
+	m.Observe(0, 0, c0.Now())
+	m.Observe(1, 0, c1.Now())
+	vals0 := []int64{1, -2, 3}
+	vals1 := []int64{5, -1}
+	for _, v := range vals0 {
+		m.Observe(0, v, c0.Event())
+	}
+	for _, v := range vals1 {
+		m.Observe(1, v, c1.Event())
+	}
+	if m.Min() != -3 { // -2 + -1
+		t.Errorf("Min = %d, want -3", m.Min())
+	}
+	if m.Max() != 8 { // 3 + 5
+		t.Errorf("Max = %d, want 8", m.Max())
+	}
+}
+
+func TestKnownBeforeAnyPair(t *testing.T) {
+	m := NewSumMonitor()
+	if m.Known() {
+		t.Fatal("empty monitor cannot know anything")
+	}
+	if m.PossiblyEq(0) {
+		t.Fatal("PossiblyEq must be false before any pair")
+	}
+	c0 := vclock.NewClock(0, 2)
+	m.Observe(0, 1, c0.Now())
+	if m.Known() {
+		t.Fatal("a single process state forms no pair")
+	}
+}

@@ -1,0 +1,170 @@
+// Package sat implements a DPLL satisfiability solver with unit propagation
+// and pure-literal elimination. It is deliberately simple — the library
+// uses it as an independent oracle to validate the NP-hardness reductions
+// of Mittal & Garg (a formula is satisfiable iff the constructed detection
+// instance has a satisfying consistent cut), not as a competitive solver.
+package sat
+
+import (
+	"github.com/distributed-predicates/gpd/internal/cnf"
+)
+
+// Solver solves CNF formulas.
+type Solver struct {
+	// Decisions counts branching decisions of the last Solve call;
+	// exposed for the benchmark harness.
+	Decisions int
+}
+
+// New returns a fresh solver.
+func New() *Solver { return &Solver{} }
+
+type value int8
+
+const (
+	unassigned value = iota
+	vTrue
+	vFalse
+)
+
+// Solve determines satisfiability. When satisfiable it also returns a
+// satisfying assignment (index 0 unused).
+func (s *Solver) Solve(f *cnf.Formula) (bool, cnf.Assignment) {
+	s.Decisions = 0
+	assign := make([]value, f.NumVars+1)
+	clauses := make([]cnf.Clause, len(f.Clauses))
+	copy(clauses, f.Clauses)
+	if !s.dpll(clauses, assign) {
+		return false, nil
+	}
+	out := make(cnf.Assignment, f.NumVars+1)
+	for v := 1; v <= f.NumVars; v++ {
+		out[v] = assign[v] == vTrue
+	}
+	return true, out
+}
+
+func litValue(assign []value, l cnf.Lit) value {
+	v := assign[l.Var()]
+	if v == unassigned {
+		return unassigned
+	}
+	if (v == vTrue) == l.Pos() {
+		return vTrue
+	}
+	return vFalse
+}
+
+// simplify applies unit propagation and pure-literal elimination until a
+// fixpoint. It returns the reduced clause list and false on conflict.
+func simplify(clauses []cnf.Clause, assign []value) ([]cnf.Clause, bool) {
+	for {
+		changed := false
+		// Unit propagation and clause reduction.
+		out := clauses[:0:0]
+		for _, cl := range clauses {
+			sat := false
+			var unit cnf.Lit
+			live := 0
+			for _, l := range cl {
+				switch litValue(assign, l) {
+				case vTrue:
+					sat = true
+				case unassigned:
+					live++
+					unit = l
+				}
+			}
+			if sat {
+				continue
+			}
+			if live == 0 {
+				return nil, false // conflict
+			}
+			if live == 1 {
+				if unit.Pos() {
+					assign[unit.Var()] = vTrue
+				} else {
+					assign[unit.Var()] = vFalse
+				}
+				changed = true
+				continue
+			}
+			out = append(out, cl)
+		}
+		clauses = out
+		// Pure literal elimination.
+		const (
+			seenPos = 1
+			seenNeg = 2
+		)
+		polarity := make(map[int]int)
+		for _, cl := range clauses {
+			for _, l := range cl {
+				if litValue(assign, l) == unassigned {
+					if l.Pos() {
+						polarity[l.Var()] |= seenPos
+					} else {
+						polarity[l.Var()] |= seenNeg
+					}
+				}
+			}
+		}
+		for v, pol := range polarity {
+			if pol == seenPos {
+				assign[v] = vTrue
+				changed = true
+			} else if pol == seenNeg {
+				assign[v] = vFalse
+				changed = true
+			}
+		}
+		if !changed {
+			return clauses, true
+		}
+	}
+}
+
+func (s *Solver) dpll(clauses []cnf.Clause, assign []value) bool {
+	clauses, ok := simplify(clauses, assign)
+	if !ok {
+		return false
+	}
+	if len(clauses) == 0 {
+		return true
+	}
+	// Branch on the first unassigned literal of the first clause.
+	var branch cnf.Lit
+	for _, l := range clauses[0] {
+		if litValue(assign, l) == unassigned {
+			branch = l
+			break
+		}
+	}
+	s.Decisions++
+	v := branch.Var()
+	saved := make([]value, len(assign))
+
+	copy(saved, assign)
+	if branch.Pos() {
+		assign[v] = vTrue
+	} else {
+		assign[v] = vFalse
+	}
+	if s.dpll(clauses, assign) {
+		return true
+	}
+	copy(assign, saved)
+	if branch.Pos() {
+		assign[v] = vFalse
+	} else {
+		assign[v] = vTrue
+	}
+	return s.dpll(clauses, assign)
+}
+
+// Satisfiable is a convenience wrapper around New().Solve.
+func Satisfiable(f *cnf.Formula) bool {
+	ok, _ := New().Solve(f)
+	return ok
+}

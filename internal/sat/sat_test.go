@@ -1,0 +1,120 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/distributed-predicates/gpd/internal/cnf"
+)
+
+func bruteSat(f *cnf.Formula) bool {
+	n := f.NumVars
+	for mask := 0; mask < 1<<n; mask++ {
+		a := make(cnf.Assignment, n+1)
+		for v := 1; v <= n; v++ {
+			a[v] = mask&(1<<(v-1)) != 0
+		}
+		if f.Eval(a) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSimpleSat(t *testing.T) {
+	f := &cnf.Formula{NumVars: 2, Clauses: []cnf.Clause{{1, 2}, {-1, 2}}}
+	ok, a := New().Solve(f)
+	if !ok {
+		t.Fatal("expected SAT")
+	}
+	if !f.Eval(a) {
+		t.Fatalf("returned assignment %v does not satisfy", a)
+	}
+}
+
+func TestSimpleUnsat(t *testing.T) {
+	f := &cnf.Formula{NumVars: 1, Clauses: []cnf.Clause{{1}, {-1}}}
+	if ok, _ := New().Solve(f); ok {
+		t.Fatal("expected UNSAT")
+	}
+}
+
+func TestEmptyFormula(t *testing.T) {
+	f := &cnf.Formula{NumVars: 3}
+	if ok, _ := New().Solve(f); !ok {
+		t.Fatal("empty formula is SAT")
+	}
+}
+
+func TestEmptyClause(t *testing.T) {
+	f := &cnf.Formula{NumVars: 1, Clauses: []cnf.Clause{{}}}
+	if ok, _ := New().Solve(f); ok {
+		t.Fatal("empty clause is UNSAT")
+	}
+}
+
+func TestUnitPropagationChain(t *testing.T) {
+	// x1, x1->x2, x2->x3, x3 -> !x4 ... forced chain.
+	f := &cnf.Formula{NumVars: 4, Clauses: []cnf.Clause{
+		{1}, {-1, 2}, {-2, 3}, {-3, -4},
+	}}
+	s := New()
+	ok, a := s.Solve(f)
+	if !ok {
+		t.Fatal("expected SAT")
+	}
+	if !a[1] || !a[2] || !a[3] || a[4] {
+		t.Fatalf("assignment %v, want T T T F", a[1:])
+	}
+	if s.Decisions != 0 {
+		t.Errorf("Decisions = %d, want 0 (pure propagation)", s.Decisions)
+	}
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	// 3 pigeons, 2 holes: var p(i,h) = 2*i + h + 1.
+	v := func(i, h int) cnf.Lit { return cnf.Lit(2*i + h + 1) }
+	f := &cnf.Formula{NumVars: 6}
+	for i := 0; i < 3; i++ {
+		f.Clauses = append(f.Clauses, cnf.Clause{v(i, 0), v(i, 1)})
+	}
+	for h := 0; h < 2; h++ {
+		for i := 0; i < 3; i++ {
+			for j := i + 1; j < 3; j++ {
+				f.Clauses = append(f.Clauses, cnf.Clause{v(i, h).Neg(), v(j, h).Neg()})
+			}
+		}
+	}
+	if Satisfiable(f) {
+		t.Fatal("pigeonhole(3,2) must be UNSAT")
+	}
+}
+
+func TestRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 500; trial++ {
+		nv := 1 + rng.Intn(8)
+		nc := 1 + rng.Intn(12)
+		f := &cnf.Formula{NumVars: nv}
+		for i := 0; i < nc; i++ {
+			n := 1 + rng.Intn(3)
+			cl := make(cnf.Clause, 0, n)
+			for j := 0; j < n; j++ {
+				l := cnf.Lit(1 + rng.Intn(nv))
+				if rng.Intn(2) == 0 {
+					l = l.Neg()
+				}
+				cl = append(cl, l)
+			}
+			f.Clauses = append(f.Clauses, cl)
+		}
+		want := bruteSat(f)
+		ok, a := New().Solve(f)
+		if ok != want {
+			t.Fatalf("trial %d: Solve = %v, brute = %v for %v", trial, ok, want, f)
+		}
+		if ok && !f.Eval(a) {
+			t.Fatalf("trial %d: assignment does not satisfy %v", trial, f)
+		}
+	}
+}

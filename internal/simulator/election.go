@@ -1,0 +1,82 @@
+package simulator
+
+// Chang–Roberts leader election on a unidirectional ring: every process
+// injects its identifier; identifiers travel clockwise, each hop dropping
+// candidates smaller than the hop's own id; the process that receives its
+// own id back is elected. The protocol's classic correctness questions map
+// directly onto the two detection modalities:
+//
+//   - safety:   Possibly(#leaders >= 2) must be false;
+//   - progress: Definitely(#leaders == 1) must be true once the trace is
+//     complete (every run of the recorded computation elects).
+
+// VarLeader is 1 from the moment a process considers itself elected.
+const VarLeader = "leader"
+
+// VarCandidate is 1 while the process still considers itself a candidate.
+const VarCandidate = "candidate"
+
+// Election is one ring member running Chang–Roberts.
+type Election struct {
+	// N is the ring size and ID the member's unique identifier.
+	N, ID int
+
+	started   bool
+	candidate bool
+	elected   bool
+}
+
+var _ Process = (*Election)(nil)
+
+// NewElectionProcs builds a ring of n processes with ids permuted by perm
+// (identity if nil): process i gets id perm[i].
+func NewElectionProcs(n int, perm []int) []Process {
+	procs := make([]Process, n)
+	for i := range procs {
+		id := i
+		if perm != nil {
+			id = perm[i]
+		}
+		procs[i] = &Election{N: n, ID: id}
+	}
+	return procs
+}
+
+// Init marks the process as a candidate.
+func (e *Election) Init(ctx *Ctx) {
+	e.candidate = true
+	ctx.SetBool(VarCandidate, true)
+	ctx.SetBool(VarLeader, false)
+}
+
+// OnStep injects the process's own identifier once.
+func (e *Election) OnStep(ctx *Ctx) bool {
+	if e.started {
+		return false
+	}
+	e.started = true
+	ctx.Send((ctx.Self()+1)%e.N, Payload{Kind: "elect", Data: int64(e.ID)})
+	return false
+}
+
+// OnMessage forwards larger identifiers, swallows smaller ones, and
+// declares election when its own identifier completes the loop.
+func (e *Election) OnMessage(ctx *Ctx, from int, msg Payload) {
+	if msg.Kind != "elect" {
+		return
+	}
+	id := int(msg.Data)
+	switch {
+	case id == e.ID:
+		e.elected = true
+		ctx.SetBool(VarLeader, true)
+	case id > e.ID:
+		if e.candidate {
+			e.candidate = false
+			ctx.SetBool(VarCandidate, false)
+		}
+		ctx.Send((ctx.Self()+1)%e.N, Payload{Kind: "elect", Data: int64(id)})
+	default:
+		// Smaller identifier: swallowed.
+	}
+}

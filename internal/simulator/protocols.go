@@ -1,0 +1,281 @@
+package simulator
+
+// This file ships the workload protocols used by the examples and the
+// benchmark harness. Each is intentionally small but exercises a pattern
+// the paper's introduction motivates:
+//
+//   - TokenRing: conservation predicates ("exactly k tokens") — the
+//     relational sum detector's home turf.
+//   - FlawedMutex: a mutual exclusion protocol with a deliberate race, so
+//     that Possibly(cs_i and cs_j) is occasionally true — the conjunctive
+//     and singular detectors find the violation that no single observed
+//     interleaving may exhibit.
+//   - Voter: gossip-based voting with changing minds — majority and
+//     parity predicates (the symmetric detector).
+//   - Gossiper: a generic random workload for scaling benchmarks.
+
+// VarTokens is the token-count variable written by TokenRing processes.
+const VarTokens = "tokens"
+
+// TokenRing passes Tokens tokens around a ring of N processes. Each holder
+// performs Work internal steps and forwards the token to its right
+// neighbour; each process forwards at most Rounds tokens before retiring.
+type TokenRing struct {
+	N, Tokens, Work, Rounds int
+
+	holding int
+	working int
+	sent    int
+}
+
+var _ Process = (*TokenRing)(nil)
+
+// NewTokenRingProcs builds the n ring members holding the initial tokens
+// on the first processes.
+func NewTokenRingProcs(n, tokens, work, rounds int) []Process {
+	procs := make([]Process, n)
+	for i := range procs {
+		p := &TokenRing{N: n, Tokens: tokens, Work: work, Rounds: rounds}
+		if i < tokens {
+			p.holding = 1
+		}
+		procs[i] = p
+	}
+	return procs
+}
+
+// Init records the initial token count.
+func (t *TokenRing) Init(ctx *Ctx) {
+	ctx.Set(VarTokens, int64(t.holding))
+}
+
+// OnMessage receives a token.
+func (t *TokenRing) OnMessage(ctx *Ctx, from int, msg Payload) {
+	if msg.Kind == "token" {
+		t.holding++
+		ctx.Set(VarTokens, int64(t.holding))
+		ctx.Wake()
+	}
+}
+
+// OnStep works while holding a token, then forwards it. A process that
+// has forwarded its quota retires and parks any further tokens it
+// receives, so the ring quiesces with all tokens accounted for.
+func (t *TokenRing) OnStep(ctx *Ctx) bool {
+	if t.holding == 0 || t.sent >= t.Rounds {
+		return false
+	}
+	if t.working < t.Work {
+		t.working++
+		return true
+	}
+	// Forward one token to the right neighbour.
+	t.working = 0
+	t.holding--
+	t.sent++
+	ctx.Set(VarTokens, int64(t.holding))
+	ctx.Send((ctx.Self()+1)%t.N, Payload{Kind: "token"})
+	return t.sent < t.Rounds
+}
+
+// VarCS is the in-critical-section flag written by FlawedMutex processes.
+const VarCS = "cs"
+
+// FlawedMutex is a deliberately broken mutual exclusion protocol: a
+// process asks only its left neighbour for permission before entering the
+// critical section, so two processes whose left neighbours are distinct
+// can be inside simultaneously. The race is timing-dependent; predicate
+// detection over the recorded partial order finds it even when the
+// observed interleaving happened to be safe.
+type FlawedMutex struct {
+	N, Entries int
+
+	state   int // 0 idle, 1 waiting, 2 in CS, 3 done
+	entered int
+}
+
+var _ Process = (*FlawedMutex)(nil)
+
+// NewFlawedMutexProcs builds n contending processes, each entering the
+// critical section entries times.
+func NewFlawedMutexProcs(n, entries int) []Process {
+	procs := make([]Process, n)
+	for i := range procs {
+		procs[i] = &FlawedMutex{N: n, Entries: entries}
+	}
+	return procs
+}
+
+// Init records that the process starts outside the critical section.
+func (m *FlawedMutex) Init(ctx *Ctx) {
+	ctx.SetBool(VarCS, false)
+}
+
+// OnMessage grants permission (any process grants immediately — the bug)
+// or receives a grant.
+func (m *FlawedMutex) OnMessage(ctx *Ctx, from int, msg Payload) {
+	switch msg.Kind {
+	case "request":
+		// BUG: grant without checking or recording local interest.
+		ctx.Send(from, Payload{Kind: "grant"})
+	case "grant":
+		if m.state == 1 {
+			m.state = 2
+			m.entered++
+			ctx.SetBool(VarCS, true)
+			ctx.Wake()
+		}
+	}
+}
+
+// OnStep requests, then leaves the critical section.
+func (m *FlawedMutex) OnStep(ctx *Ctx) bool {
+	switch m.state {
+	case 0:
+		if m.entered >= m.Entries {
+			m.state = 3
+			return false
+		}
+		m.state = 1
+		left := (ctx.Self() + m.N - 1) % m.N
+		ctx.Send(left, Payload{Kind: "request"})
+		return false // wait for the grant
+	case 2:
+		// One step inside the critical section, then leave.
+		m.state = 0
+		ctx.SetBool(VarCS, false)
+		return true
+	default:
+		return false
+	}
+}
+
+// VarYes is the current-vote variable written by Voter processes.
+const VarYes = "yes"
+
+// Voter gossips a yes/no opinion: each process broadcasts its vote a few
+// times and adopts the majority of opinions heard so far, flipping its
+// variable as it changes its mind.
+type Voter struct {
+	N, Rounds int
+	Initial   bool
+
+	vote       bool
+	yesHeard   int
+	totalHeard int
+	sent       int
+}
+
+var _ Process = (*Voter)(nil)
+
+// NewVoterProcs builds n voters; voter i starts with vote yes iff
+// initial(i).
+func NewVoterProcs(n, rounds int, initial func(i int) bool) []Process {
+	procs := make([]Process, n)
+	for i := range procs {
+		procs[i] = &Voter{N: n, Rounds: rounds, Initial: initial(i)}
+	}
+	return procs
+}
+
+// Init records the initial vote.
+func (v *Voter) Init(ctx *Ctx) {
+	v.vote = v.Initial
+	ctx.SetBool(VarYes, v.vote)
+}
+
+// OnMessage hears an opinion and possibly changes its mind.
+func (v *Voter) OnMessage(ctx *Ctx, from int, msg Payload) {
+	if msg.Kind != "opinion" {
+		return
+	}
+	v.totalHeard++
+	if msg.Data == 1 {
+		v.yesHeard++
+	}
+	newVote := 2*v.yesHeard >= v.totalHeard
+	if newVote != v.vote {
+		v.vote = newVote
+		ctx.SetBool(VarYes, v.vote)
+	}
+}
+
+// OnStep broadcasts the current opinion to a random peer.
+func (v *Voter) OnStep(ctx *Ctx) bool {
+	if v.sent >= v.Rounds {
+		return false
+	}
+	v.sent++
+	to := ctx.Rand().Intn(v.N)
+	if to == ctx.Self() {
+		to = (to + 1) % v.N
+	}
+	data := int64(0)
+	if v.vote {
+		data = 1
+	}
+	ctx.Send(to, Payload{Kind: "opinion", Data: data})
+	return v.sent < v.Rounds
+}
+
+// VarFlag is the random boolean written by Gossiper processes.
+const VarFlag = "flag"
+
+// VarLevel is the unit-step counter written by Gossiper processes.
+const VarLevel = "level"
+
+// Gossiper is a generic random workload: each process performs Steps
+// steps; at each step it flips a boolean with probability 1/3, moves a
+// unit-step counter up or down, and sends a message to a random peer with
+// probability MsgProb (x1000).
+type Gossiper struct {
+	N, Steps    int
+	MsgPerMille int
+
+	level int64
+	flag  bool
+	done  int
+}
+
+var _ Process = (*Gossiper)(nil)
+
+// NewGossiperProcs builds n gossipers with the given step count and
+// message probability (per mille).
+func NewGossiperProcs(n, steps, msgPerMille int) []Process {
+	procs := make([]Process, n)
+	for i := range procs {
+		procs[i] = &Gossiper{N: n, Steps: steps, MsgPerMille: msgPerMille}
+	}
+	return procs
+}
+
+// Init records zeroed variables.
+func (g *Gossiper) Init(ctx *Ctx) {
+	ctx.Set(VarLevel, 0)
+	ctx.SetBool(VarFlag, false)
+}
+
+// OnMessage just merges causality; gossip content is irrelevant.
+func (g *Gossiper) OnMessage(ctx *Ctx, from int, msg Payload) {}
+
+// OnStep mutates local state and occasionally gossips.
+func (g *Gossiper) OnStep(ctx *Ctx) bool {
+	if g.done >= g.Steps {
+		return false
+	}
+	g.done++
+	rng := ctx.Rand()
+	if rng.Intn(3) == 0 {
+		g.flag = !g.flag
+		ctx.SetBool(VarFlag, g.flag)
+	}
+	g.level += int64(rng.Intn(3) - 1)
+	ctx.Set(VarLevel, g.level)
+	if rng.Intn(1000) < g.MsgPerMille {
+		to := rng.Intn(g.N)
+		if to != ctx.Self() {
+			ctx.Send(to, Payload{Kind: "gossip"})
+		}
+	}
+	return g.done < g.Steps
+}

@@ -1,0 +1,225 @@
+// Package simulator is a deterministic discrete-event simulator of
+// asynchronous message-passing systems. Processes implement the Process
+// interface; the simulator interleaves their steps and message deliveries
+// under a seeded scheduler with reliable, non-FIFO channels — exactly the
+// system model of the paper — and records the execution as a
+// computation.Computation, with per-process variables captured at every
+// event so the predicate detectors can replay the run offline.
+//
+// The paper motivates predicate detection with testing and debugging of
+// distributed programs; this package plays the role of the instrumented
+// application. The protocols file ships a small library of classic
+// workloads (token ring, a deliberately flawed mutual exclusion protocol,
+// distributed voting) used by the examples and the benchmark harness.
+package simulator
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/distributed-predicates/gpd/internal/computation"
+)
+
+// Payload is the application content of a message.
+type Payload struct {
+	// Kind tags the message type (protocol-defined).
+	Kind string
+	// Data carries an integer argument.
+	Data int64
+}
+
+// Process is the behaviour of one simulated process.
+type Process interface {
+	// Init runs before any event; it may set initial variable values
+	// (recorded at the initial event) but must not send.
+	Init(ctx *Ctx)
+	// OnMessage handles one delivered message; the invocation is
+	// recorded as a receive event.
+	OnMessage(ctx *Ctx, from int, msg Payload)
+	// OnStep performs one spontaneous step, recorded as an internal (or
+	// send) event. Returning false indicates the process has no further
+	// spontaneous work; it may still react to messages.
+	OnStep(ctx *Ctx) bool
+}
+
+// Ctx is the per-callback interface a process uses to act on the world.
+type Ctx struct {
+	sim  *Simulator
+	self int
+	// cur is the event being recorded; NoEvent during Init.
+	cur computation.EventID
+}
+
+// Self returns the process's own index.
+func (ctx *Ctx) Self() int { return ctx.self }
+
+// N returns the number of processes.
+func (ctx *Ctx) N() int { return len(ctx.sim.procs) }
+
+// Rand returns the deterministic per-simulation random source. Processes
+// share it; scheduling already serializes callbacks.
+func (ctx *Ctx) Rand() *rand.Rand { return ctx.sim.rng }
+
+// Send enqueues a message to another process, attached to the current
+// event (which becomes a send event). Sending during Init is an error.
+func (ctx *Ctx) Send(to int, msg Payload) {
+	if ctx.cur == computation.NoEvent {
+		panic("simulator: Send during Init")
+	}
+	if to < 0 || to >= ctx.N() {
+		panic(fmt.Sprintf("simulator: send to unknown process %d", to))
+	}
+	ctx.sim.inflight = append(ctx.sim.inflight, flight{
+		from: ctx.self, to: to, msg: msg, sendEvent: ctx.cur,
+	})
+}
+
+// Set assigns the named local variable; the value is recorded at the
+// current event and persists until reassigned.
+func (ctx *Ctx) Set(name string, v int64) {
+	vars := ctx.sim.vars[ctx.self]
+	vars[name] = v
+	ctx.sim.names[name] = true
+	if ctx.cur != computation.NoEvent {
+		ctx.sim.c.SetVar(name, ctx.cur, v)
+	}
+}
+
+// SetBool assigns a boolean variable, stored as 0/1.
+func (ctx *Ctx) SetBool(name string, v bool) {
+	if v {
+		ctx.Set(name, 1)
+	} else {
+		ctx.Set(name, 0)
+	}
+}
+
+// Get reads the current value of one of the process's own variables.
+func (ctx *Ctx) Get(name string) int64 { return ctx.sim.vars[ctx.self][name] }
+
+// Wake re-enables spontaneous steps for this process. Typically called
+// from OnMessage when a delivery creates new local work after OnStep has
+// previously returned false.
+func (ctx *Ctx) Wake() { ctx.sim.active[ctx.self] = true }
+
+// flight is a message in transit.
+type flight struct {
+	from, to  int
+	msg       Payload
+	sendEvent computation.EventID
+}
+
+// Simulator drives a set of processes.
+type Simulator struct {
+	procs    []Process
+	rng      *rand.Rand
+	c        *computation.Computation
+	inflight []flight
+	active   []bool // process still has spontaneous work
+	vars     []map[string]int64
+	names    map[string]bool
+	maxEv    int
+}
+
+// Option configures a Simulator.
+type Option func(*Simulator)
+
+// WithMaxEvents bounds the total number of events recorded (a safety net
+// against non-terminating protocols). The default is 100000.
+func WithMaxEvents(n int) Option {
+	return func(s *Simulator) { s.maxEv = n }
+}
+
+// New builds a simulator over the given processes with a seeded scheduler.
+func New(seed int64, procs []Process, opts ...Option) *Simulator {
+	s := &Simulator{
+		procs: procs,
+		rng:   rand.New(rand.NewSource(seed)),
+		c:     computation.New(),
+		maxEv: 100000,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Run executes the simulation to quiescence (every process declines to
+// step and no messages are in flight) or to the event bound, then seals
+// and returns the recorded computation.
+func (s *Simulator) Run() (*computation.Computation, error) {
+	n := len(s.procs)
+	s.active = make([]bool, n)
+	s.vars = make([]map[string]int64, n)
+	s.names = make(map[string]bool)
+	for p := 0; p < n; p++ {
+		s.c.AddProcess()
+		s.active[p] = true
+		s.vars[p] = make(map[string]int64)
+	}
+	// Init phase: record initial variable values at the initial events.
+	for p := 0; p < n; p++ {
+		ctx := &Ctx{sim: s, self: p, cur: computation.NoEvent}
+		s.procs[p].Init(ctx)
+		for name, v := range s.vars[p] {
+			s.c.SetVar(name, s.c.Initial(computation.ProcID(p)).ID, v)
+		}
+	}
+	for s.c.NumEvents() < s.maxEv+n {
+		// Choose among deliverable messages and active processes.
+		nChoices := len(s.inflight)
+		var steppable []int
+		for p := 0; p < n; p++ {
+			if s.active[p] {
+				steppable = append(steppable, p)
+			}
+		}
+		nChoices += len(steppable)
+		if nChoices == 0 {
+			break // quiescent
+		}
+		pick := s.rng.Intn(nChoices)
+		if pick < len(s.inflight) {
+			// Deliver message pick (non-FIFO: any in-flight message
+			// may arrive next).
+			f := s.inflight[pick]
+			s.inflight = append(s.inflight[:pick], s.inflight[pick+1:]...)
+			ev := s.c.AddEvent(computation.ProcID(f.to), computation.KindInternal)
+			if err := s.c.AddMessage(f.sendEvent, ev); err != nil {
+				return nil, fmt.Errorf("simulator: deliver: %w", err)
+			}
+			s.snapshotVars(f.to, ev)
+			ctx := &Ctx{sim: s, self: f.to, cur: ev}
+			s.procs[f.to].OnMessage(ctx, f.from, f.msg)
+		} else {
+			p := steppable[pick-len(s.inflight)]
+			ev := s.c.AddInternal(computation.ProcID(p))
+			s.snapshotVars(p, ev)
+			ctx := &Ctx{sim: s, self: p, cur: ev}
+			if !s.procs[p].OnStep(ctx) {
+				s.active[p] = false
+			}
+		}
+	}
+	if err := s.c.Seal(); err != nil {
+		return nil, fmt.Errorf("simulator: seal: %w", err)
+	}
+	return s.c, nil
+}
+
+// snapshotVars carries the process's current variable values forward onto
+// a fresh event, so that frontier reads are always defined.
+func (s *Simulator) snapshotVars(p int, ev computation.EventID) {
+	for name, v := range s.vars[p] {
+		s.c.SetVar(name, ev, v)
+	}
+}
+
+// VarNames returns the variable names touched during the run.
+func (s *Simulator) VarNames() []string {
+	out := make([]string, 0, len(s.names))
+	for name := range s.names {
+		out = append(out, name)
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package simulator
+
+// Two-phase commit: a coordinator collects votes from participants and
+// broadcasts the decision. The protocol family is a staple of the
+// predicate-detection literature — "the commit point of a transaction" is
+// the paper's own example of a good condition to verify with Definitely.
+//
+// Variables:
+//   - VarVotedYes:  participant voted yes (never unset);
+//   - VarCommitted: process has decided commit;
+//   - VarAborted:   process has decided abort.
+//
+// The interesting predicates: Definitely(all committed or all aborted at
+// the end), and the safety question Possibly(some committed AND some
+// aborted) which must be false on agreement but is detectably true when
+// the WithBug option makes the coordinator decide too early.
+
+// Variable names written by the 2PC processes.
+const (
+	VarVotedYes  = "votedyes"
+	VarCommitted = "committed"
+	VarAborted   = "aborted"
+)
+
+// TwoPhaseCoordinator drives the protocol among n processes: process 0 is
+// the coordinator, 1..n-1 are participants.
+type TwoPhaseCoordinator struct {
+	// N is the total process count (participants = N-1).
+	N int
+	// Buggy makes the coordinator decide commit after the FIRST yes
+	// vote instead of waiting for all — the classic premature-commit
+	// bug, detectable as Possibly(committed and aborted coexist).
+	Buggy bool
+
+	started  bool
+	yesVotes int
+	noVotes  int
+	decided  bool
+}
+
+// TwoPhaseParticipant votes and obeys the decision.
+type TwoPhaseParticipant struct {
+	// VoteYes is this participant's vote.
+	VoteYes bool
+
+	voted bool
+}
+
+var (
+	_ Process = (*TwoPhaseCoordinator)(nil)
+	_ Process = (*TwoPhaseParticipant)(nil)
+)
+
+// NewTwoPhaseProcs builds a coordinator (process 0) and n-1 participants;
+// participant i votes yes iff vote(i) (i in 1..n-1).
+func NewTwoPhaseProcs(n int, buggy bool, vote func(i int) bool) []Process {
+	procs := make([]Process, n)
+	procs[0] = &TwoPhaseCoordinator{N: n, Buggy: buggy}
+	for i := 1; i < n; i++ {
+		procs[i] = &TwoPhaseParticipant{VoteYes: vote(i)}
+	}
+	return procs
+}
+
+// Init zeroes the decision state.
+func (tc *TwoPhaseCoordinator) Init(ctx *Ctx) {
+	ctx.SetBool(VarCommitted, false)
+	ctx.SetBool(VarAborted, false)
+}
+
+// OnStep broadcasts the vote request once.
+func (tc *TwoPhaseCoordinator) OnStep(ctx *Ctx) bool {
+	if tc.started {
+		return false
+	}
+	tc.started = true
+	for p := 1; p < tc.N; p++ {
+		ctx.Send(p, Payload{Kind: "prepare"})
+	}
+	return false
+}
+
+// OnMessage tallies votes and broadcasts the decision.
+func (tc *TwoPhaseCoordinator) OnMessage(ctx *Ctx, from int, msg Payload) {
+	if tc.decided {
+		return
+	}
+	switch msg.Kind {
+	case "yes":
+		tc.yesVotes++
+	case "no":
+		tc.noVotes++
+	default:
+		return
+	}
+	commitNow := tc.yesVotes == tc.N-1
+	if tc.Buggy && tc.yesVotes >= 1 {
+		commitNow = true // BUG: premature commit on the first yes
+	}
+	if commitNow {
+		tc.decided = true
+		ctx.SetBool(VarCommitted, true)
+		for p := 1; p < tc.N; p++ {
+			ctx.Send(p, Payload{Kind: "commit"})
+		}
+		return
+	}
+	if tc.noVotes >= 1 {
+		tc.decided = true
+		ctx.SetBool(VarAborted, true)
+		for p := 1; p < tc.N; p++ {
+			ctx.Send(p, Payload{Kind: "abort"})
+		}
+	}
+}
+
+// Init records the (not yet cast) vote state.
+func (tp *TwoPhaseParticipant) Init(ctx *Ctx) {
+	ctx.SetBool(VarVotedYes, false)
+	ctx.SetBool(VarCommitted, false)
+	ctx.SetBool(VarAborted, false)
+}
+
+// OnStep does nothing; participants are reactive.
+func (tp *TwoPhaseParticipant) OnStep(ctx *Ctx) bool { return false }
+
+// OnMessage votes on prepare and applies decisions. A participant that
+// voted no aborts unilaterally, as the protocol allows.
+func (tp *TwoPhaseParticipant) OnMessage(ctx *Ctx, from int, msg Payload) {
+	switch msg.Kind {
+	case "prepare":
+		if tp.voted {
+			return
+		}
+		tp.voted = true
+		if tp.VoteYes {
+			ctx.SetBool(VarVotedYes, true)
+			ctx.Send(0, Payload{Kind: "yes"})
+		} else {
+			ctx.SetBool(VarAborted, true) // unilateral abort
+			ctx.Send(0, Payload{Kind: "no"})
+		}
+	case "commit":
+		ctx.SetBool(VarCommitted, true)
+	case "abort":
+		ctx.SetBool(VarAborted, true)
+	}
+}

@@ -1,0 +1,85 @@
+package subsetsum
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasics(t *testing.T) {
+	cases := []struct {
+		sizes  []int64
+		target int64
+		want   bool
+	}{
+		{[]int64{3, 5, 7}, 12, true},
+		{[]int64{3, 5, 7}, 15, true},
+		{[]int64{3, 5, 7}, 4, false},
+		{[]int64{3, 5, 7}, 0, true}, // empty subset
+		{[]int64{3, 5, 7}, -1, false},
+		{[]int64{}, 0, true},
+		{[]int64{}, 1, false},
+		{[]int64{5}, 5, true},
+		{[]int64{2, 2, 2}, 6, true},
+	}
+	for i, tc := range cases {
+		ok, subset := Solve(Instance{Sizes: tc.sizes, Target: tc.target})
+		if ok != tc.want {
+			t.Errorf("case %d: Solve = %v, want %v", i, ok, tc.want)
+			continue
+		}
+		if ok && Sum(tc.sizes, subset) != tc.target {
+			t.Errorf("case %d: subset %v sums to %d, want %d",
+				i, subset, Sum(tc.sizes, subset), tc.target)
+		}
+	}
+}
+
+func bruteSolve(sizes []int64, target int64) bool {
+	n := len(sizes)
+	for mask := 0; mask < 1<<n; mask++ {
+		var s int64
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				s += sizes[i]
+			}
+		}
+		if s == target {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + rng.Intn(10)
+		sizes := make([]int64, n)
+		for i := range sizes {
+			sizes[i] = int64(1 + rng.Intn(15))
+		}
+		target := int64(rng.Intn(60))
+		want := bruteSolve(sizes, target)
+		ok, subset := Solve(Instance{Sizes: sizes, Target: target})
+		if ok != want {
+			t.Fatalf("trial %d: Solve = %v, brute = %v (sizes=%v target=%d)",
+				trial, ok, want, sizes, target)
+		}
+		if ok {
+			seen := make(map[int]bool)
+			for _, i := range subset {
+				if i < 0 || i >= n {
+					t.Fatalf("trial %d: index %d out of range", trial, i)
+				}
+				if seen[i] {
+					t.Fatalf("trial %d: index %d used twice", trial, i)
+				}
+				seen[i] = true
+			}
+			if Sum(sizes, subset) != target {
+				t.Fatalf("trial %d: subset sums to %d, want %d",
+					trial, Sum(sizes, subset), target)
+			}
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package gpd
+
+import (
+	"github.com/distributed-predicates/gpd/internal/computation"
+	"github.com/distributed-predicates/gpd/internal/linear"
+	"github.com/distributed-predicates/gpd/internal/slicing"
+)
+
+// Slicing and linear-predicate detection: extensions beyond the paper's
+// core results, following the same authors' computation-slicing line of
+// work and Chase & Garg's linear predicates (both sit in the tractable
+// region of the paper's Figure 1).
+
+// Slice is the computation slice with respect to a regular predicate: a
+// compact representation of exactly the consistent cuts satisfying it.
+type Slice = slicing.Slice
+
+// SliceOracle evaluates a regular predicate and names forbidden processes.
+type SliceOracle = slicing.Oracle
+
+// Slicing errors.
+var (
+	// ErrSliceEmpty reports that no consistent cut satisfies the
+	// predicate.
+	ErrSliceEmpty = slicing.ErrEmpty
+	// ErrNotRegular reports a predicate whose satisfying cuts are not
+	// closed under meet and join.
+	ErrNotRegular = slicing.ErrNotRegular
+)
+
+// ComputeSlice builds the slice of the computation for a regular
+// predicate. Use ConjunctiveSliceOracle for conjunctions of local
+// predicates, or implement SliceOracle for other regular predicates.
+func ComputeSlice(c *Computation, o SliceOracle) (*Slice, error) {
+	return slicing.Compute(c, o)
+}
+
+// ConjunctiveSliceOracle adapts local predicates (the canonical regular
+// predicate) for slicing.
+func ConjunctiveSliceOracle(locals map[ProcID]func(Event) bool) SliceOracle {
+	adapted := make(map[computation.ProcID]func(computation.Event) bool, len(locals))
+	for p, f := range locals {
+		adapted[p] = f
+	}
+	return slicing.ConjunctiveOracle(adapted)
+}
+
+// LinearOracle evaluates a linear predicate and names forbidden processes
+// (linearity: satisfying cuts closed under meet).
+type LinearOracle = linear.Oracle
+
+// PossiblyLinear detects Possibly(B) for a linear predicate B, returning
+// the unique least satisfying cut as the witness. Conjunctions of local
+// predicates are linear; use LinearConjunctive to adapt them.
+func PossiblyLinear(c *Computation, o LinearOracle) (bool, Cut) {
+	return linear.Possibly(c, o)
+}
+
+// LinearConjunctive adapts local predicates to a linear oracle.
+func LinearConjunctive(locals map[ProcID]func(Event) bool) LinearOracle {
+	adapted := make(map[computation.ProcID]func(computation.Event) bool, len(locals))
+	for p, f := range locals {
+		adapted[p] = f
+	}
+	return linear.Conjunctive(adapted)
+}

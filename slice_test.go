@@ -1,0 +1,70 @@
+package gpd_test
+
+import (
+	"errors"
+	"testing"
+
+	gpd "github.com/distributed-predicates/gpd"
+)
+
+func TestSlicePublicAPI(t *testing.T) {
+	c := gpd.New()
+	p0 := c.AddProcess()
+	p1 := c.AddProcess()
+	a := c.AddInternal(p0)
+	b := c.AddInternal(p1)
+	if err := c.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	locals := map[gpd.ProcID]func(gpd.Event) bool{
+		p0: func(e gpd.Event) bool { return e.ID == a },
+		p1: func(e gpd.Event) bool { return e.ID == b },
+	}
+	o := gpd.ConjunctiveSliceOracle(locals)
+	s, err := gpd.ComputeSlice(c, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only <1,1> satisfies both conjuncts.
+	if n := s.Count(o); n.Int64() != 1 {
+		t.Fatalf("slice count = %v, want 1", n)
+	}
+	if got := s.Bottom(); got[0] != 1 || got[1] != 1 {
+		t.Fatalf("bottom = %v, want <1,1>", got)
+	}
+}
+
+func TestSliceEmptyPublicAPI(t *testing.T) {
+	c := gpd.New()
+	p0 := c.AddProcess()
+	c.AddInternal(p0)
+	if err := c.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	o := gpd.ConjunctiveSliceOracle(map[gpd.ProcID]func(gpd.Event) bool{
+		p0: func(gpd.Event) bool { return false },
+	})
+	if _, err := gpd.ComputeSlice(c, o); !errors.Is(err, gpd.ErrSliceEmpty) {
+		t.Fatalf("err = %v, want ErrSliceEmpty", err)
+	}
+}
+
+func TestPossiblyLinearPublicAPI(t *testing.T) {
+	c := gpd.New()
+	p0 := c.AddProcess()
+	p1 := c.AddProcess()
+	a := c.AddInternal(p0)
+	c.AddInternal(p1)
+	if err := c.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	ok, cut := gpd.PossiblyLinear(c, gpd.LinearConjunctive(map[gpd.ProcID]func(gpd.Event) bool{
+		p0: func(e gpd.Event) bool { return e.ID == a },
+	}))
+	if !ok {
+		t.Fatal("linear detection failed")
+	}
+	if cut[0] != 1 || cut[1] != 0 {
+		t.Fatalf("least cut = %v, want <1,0>", cut)
+	}
+}
