@@ -1,0 +1,117 @@
+// Command gpdserver serves multi-tenant streaming predicate detection
+// over TCP: monitored applications open sessions, stream vector-clock
+// timestamped events, and get Possibly verdicts online (plus Definitely
+// at close, for sessions that retain their trace).
+//
+// Usage:
+//
+//	gpdserver -addr 127.0.0.1:7400 -stats 127.0.0.1:7401
+//	gpdserver -shards 8 -queue 512 -batch 128 -policy drop-oldest
+//
+// The wire protocol is length-prefixed JSON frames (see internal/stream);
+// examples/streamclient is a ready-made load generator and correctness
+// checker. The -stats listener serves expvar-style JSON at /debug/vars
+// with per-shard and per-session counters.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/distributed-predicates/gpd/internal/stream"
+)
+
+func main() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stdout, stop); err != nil {
+		fmt.Fprintln(os.Stderr, "gpdserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
+	fs := flag.NewFlagSet("gpdserver", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7400", "TCP listen address for the stream protocol")
+	statsAddr := fs.String("stats", "", "HTTP listen address for the stats endpoint (empty: disabled)")
+	shards := fs.Int("shards", 4, "worker shards (sessions are hashed onto shards)")
+	queue := fs.Int("queue", 256, "per-shard mailbox capacity, in frames")
+	batch := fs.Int("batch", 64, "max frames drained per worker iteration")
+	policy := fs.String("policy", "backpressure", "mailbox overflow policy: backpressure or drop-oldest")
+	idle := fs.Duration("idle-timeout", 5*time.Minute, "disconnect peers silent for this long (0: never)")
+	write := fs.Duration("write-timeout", 30*time.Second, "per-reply write deadline (0: none)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := stream.Config{Shards: *shards, QueueLen: *queue, BatchSize: *batch}
+	switch *policy {
+	case "backpressure":
+		cfg.Policy = stream.Backpressure
+	case "drop-oldest":
+		cfg.Policy = stream.DropOldest
+	default:
+		return fmt.Errorf("unknown -policy %q (want backpressure or drop-oldest)", *policy)
+	}
+
+	eng := stream.NewEngine(cfg)
+	defer eng.Shutdown()
+	srv, err := stream.ListenAndServe(*addr, eng,
+		stream.WithServerIdleTimeout(*idle), stream.WithServerWriteTimeout(*write))
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Fprintf(stdout, "gpdserver listening on %s (%d shards, %s)\n",
+		srv.Addr(), cfg.Shards, cfg.Policy)
+
+	var stats *http.Server
+	statsErr := make(chan error, 1)
+	if *statsAddr != "" {
+		ln, err := net.Listen("tcp", *statsAddr)
+		if err != nil {
+			return fmt.Errorf("stats listen: %w", err)
+		}
+		stats = &http.Server{Handler: statsHandler(eng)}
+		go func() { statsErr <- stats.Serve(ln) }()
+		fmt.Fprintf(stdout, "stats on http://%s/debug/vars\n", ln.Addr())
+	}
+
+	select {
+	case <-stop:
+		fmt.Fprintln(stdout, "gpdserver: shutting down")
+	case err := <-statsErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return fmt.Errorf("stats server: %w", err)
+		}
+	}
+	if stats != nil {
+		stats.Close()
+	}
+	return nil
+}
+
+// statsHandler serves the engine's stats surface as expvar-style JSON:
+// one top-level map with a "gpdserver" variable holding the snapshot.
+func statsHandler(eng *stream.Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{"gpdserver": eng.Snapshot()})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}

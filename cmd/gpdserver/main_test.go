@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/distributed-predicates/gpd/internal/stream"
+)
+
+// TestRunServesAndShutsDown boots the server on ephemeral ports, runs one
+// session end to end, checks the stats endpoint, and shuts down cleanly.
+func TestRunServesAndShutsDown(t *testing.T) {
+	pr, pw := io.Pipe()
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		err := run([]string{"-addr", "127.0.0.1:0", "-stats", "127.0.0.1:0"}, pw, stop)
+		pw.CloseWithError(err)
+		done <- err
+	}()
+
+	sc := bufio.NewScanner(pr)
+	var addr, statsURL string
+	for addr == "" || statsURL == "" {
+		if !sc.Scan() {
+			break
+		}
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "gpdserver listening on "); ok {
+			addr = strings.Fields(rest)[0]
+		}
+		if rest, ok := strings.CutPrefix(line, "stats on "); ok {
+			statsURL = rest
+		}
+	}
+	if addr == "" || statsURL == "" {
+		t.Fatalf("startup lines not seen (addr=%q stats=%q)", addr, statsURL)
+	}
+	go io.Copy(io.Discard, pr) // keep draining so shutdown prints don't block
+
+	cl, err := stream.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Open("t", stream.Spec{Kind: stream.Conjunctive, Procs: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Append("t", []stream.Event{
+		{Proc: 0, VC: []int64{1, 0}, Truth: true},
+		{Proc: 1, VC: []int64{0, 1}, Truth: true},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	verdict, err := cl.CloseSession("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !verdict.Possibly {
+		t.Fatal("two concurrent true events: want Possibly")
+	}
+
+	resp, err := http.Get(statsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars struct {
+		Gpdserver stream.Snapshot `json:"gpdserver"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.Gpdserver.Events != 2 || vars.Gpdserver.Detections != 1 {
+		t.Fatalf("stats snapshot: %+v", vars.Gpdserver)
+	}
+
+	stop <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not shut down on signal")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-policy", "nope"}, io.Discard, nil); err == nil {
+		t.Fatal("want error for unknown policy")
+	}
+	if err := run([]string{"-addr", "256.0.0.1:bad"}, io.Discard, nil); err == nil {
+		t.Fatal("want error for unusable address")
+	}
+}

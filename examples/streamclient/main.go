@@ -1,0 +1,175 @@
+// Streamclient drives a running gpdserver: it fabricates random
+// distributed computations, streams each one as a session over TCP in a
+// causally-scrambled order, and cross-checks every online verdict against
+// the offline detectors run locally on the same trace. Exit status is
+// nonzero on any mismatch, which makes it double as the serving smoke
+// test in CI.
+//
+//	gpdserver -addr 127.0.0.1:7400        # terminal 1
+//	go run ./examples/streamclient -addr 127.0.0.1:7400 -sessions 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/distributed-predicates/gpd/internal/computation"
+	"github.com/distributed-predicates/gpd/internal/conjunctive"
+	"github.com/distributed-predicates/gpd/internal/core/relsum"
+	"github.com/distributed-predicates/gpd/internal/core/symmetric"
+	"github.com/distributed-predicates/gpd/internal/gen"
+	"github.com/distributed-predicates/gpd/internal/stream"
+)
+
+const varName = "x"
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7400", "gpdserver address")
+	sessions := flag.Int("sessions", 8, "number of concurrent sessions")
+	procs := flag.Int("procs", 3, "processes per monitored application")
+	events := flag.Int("events", 5, "events per process")
+	seed := flag.Int64("seed", 1, "base random seed")
+	wait := flag.Duration("wait", 5*time.Second, "how long to retry the first dial")
+	flag.Parse()
+
+	if err := run(*addr, *sessions, *procs, *events, *seed, *wait); err != nil {
+		log.Fatal("streamclient: ", err)
+	}
+}
+
+func run(addr string, sessions, procs, events int, seed int64, wait time.Duration) error {
+	// Retry the first dial so the client can be launched alongside the
+	// server (CI starts both in one step).
+	deadline := time.Now().Add(wait)
+	for {
+		cl, err := stream.Dial(addr)
+		if err == nil {
+			cl.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not reachable: %w", addr, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := drive(addr, i, procs, events, seed+int64(i)); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	failed := 0
+	for err := range errs {
+		failed++
+		fmt.Fprintln(os.Stderr, "MISMATCH:", err)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d sessions disagreed with the offline oracle", failed, sessions)
+	}
+	fmt.Printf("streamclient: %d sessions verified against offline oracles\n", sessions)
+	return nil
+}
+
+// drive runs one session end to end and checks it against the oracle.
+func drive(addr string, i, procs, events int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	c := gen.Random(gen.Params{Seed: seed, Procs: procs, Events: events, MsgFrac: 0.6})
+
+	var (
+		spec             stream.Spec
+		trace            []stream.Event
+		wantPos, wantDef bool
+		kind             string
+	)
+	switch i % 3 {
+	case 0:
+		kind = "conjunctive"
+		truth := gen.BoolTables(seed, c, 0.4)
+		locals := make(map[computation.ProcID]conjunctive.LocalPredicate)
+		for p := range truth {
+			truth[p][0] = false // online sessions take initial states as false
+			row := truth[p]
+			locals[computation.ProcID(p)] = func(e computation.Event) bool {
+				return e.Index < len(row) && row[e.Index]
+			}
+		}
+		spec = stream.Spec{Kind: stream.Conjunctive, Procs: procs, Retain: true}
+		trace = stream.TableTrace(c, truth)
+		wantPos = conjunctive.DetectTables(c, truth).Found
+		wantDef = conjunctive.DetectDefinitely(c, locals)
+	case 1:
+		kind = "sumeq"
+		gen.UnitStepVar(seed, c, varName)
+		evs, init := stream.SumTrace(c, varName)
+		lo, hi := relsum.SumRange(c, varName)
+		k := lo + seed%(hi-lo+2)
+		spec = stream.Spec{Kind: stream.SumEq, Procs: procs, K: k, Init: init, Retain: true}
+		trace = evs
+		var err error
+		if wantPos, err = relsum.Possibly(c, varName, relsum.Eq, k); err != nil {
+			return err
+		}
+		if wantDef, err = relsum.Definitely(c, varName, relsum.Eq, k); err != nil {
+			return err
+		}
+	case 2:
+		kind = "symmetric"
+		gen.BoolVar(seed, c, varName, 0.4)
+		evs, init := stream.BoolTrace(c, varName)
+		sp := symmetric.NotAllEqual(procs)
+		truth := func(e computation.Event) bool { return c.Var(varName, e.ID) != 0 }
+		spec = stream.Spec{Kind: stream.Symmetric, Procs: procs, Levels: sp.Levels, Init: init, Retain: true}
+		trace = evs
+		var err error
+		if wantPos, _, err = symmetric.Possibly(c, sp, truth); err != nil {
+			return err
+		}
+		if wantDef, err = symmetric.Definitely(c, sp, truth); err != nil {
+			return err
+		}
+	}
+
+	cl, err := stream.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	id := fmt.Sprintf("streamclient-%d-%d", os.Getpid(), i)
+	if err := cl.Open(id, spec); err != nil {
+		return err
+	}
+	rng.Shuffle(len(trace), func(a, b int) { trace[a], trace[b] = trace[b], trace[a] })
+	for len(trace) > 0 {
+		n := 1 + rng.Intn(4)
+		if n > len(trace) {
+			n = len(trace)
+		}
+		if _, err := cl.Append(id, trace[:n]); err != nil {
+			return err
+		}
+		trace = trace[n:]
+	}
+	verdict, err := cl.CloseSession(id)
+	if err != nil {
+		return err
+	}
+	if verdict.Possibly != wantPos || !verdict.DefinitelyKnown || verdict.Definitely != wantDef {
+		return fmt.Errorf("%s (%s): server says Possibly=%v Definitely=%v(known=%v), oracle says %v/%v",
+			id, kind, verdict.Possibly, verdict.Definitely, verdict.DefinitelyKnown, wantPos, wantDef)
+	}
+	fmt.Printf("%-24s %-12s Possibly=%-5v Definitely=%-5v ok\n", id, kind, verdict.Possibly, verdict.Definitely)
+	return nil
+}

@@ -218,6 +218,49 @@ func (ch *Checker) Observe(proc int, vc vclock.VC) bool {
 	return ch.found
 }
 
+// ObserveBatch feeds a batch of true-event timestamps of one process (in
+// local order) and returns whether the predicate has been detected. The
+// elimination sweep runs once per batch rather than once per event, which
+// is how the streaming engine amortises detector steps.
+func (ch *Checker) ObserveBatch(proc int, vcs []vclock.VC) bool {
+	if ch.found {
+		return true
+	}
+	i, ok := ch.slot[proc]
+	if !ok {
+		return false
+	}
+	for _, vc := range vcs {
+		ch.queue[i] = append(ch.queue[i], vc.Clone())
+	}
+	ch.sweep()
+	return ch.found
+}
+
+// Involved returns the involved processes in slot order.
+func (ch *Checker) Involved() []int {
+	return append([]int(nil), ch.procs...)
+}
+
+// Depths returns the current per-slot queue depths — the candidates that
+// can be neither eliminated nor confirmed until other processes report.
+func (ch *Checker) Depths() []int {
+	out := make([]int, len(ch.queue))
+	for i, q := range ch.queue {
+		out[i] = len(q)
+	}
+	return out
+}
+
+// Pending returns the total number of queued candidate events.
+func (ch *Checker) Pending() int {
+	n := 0
+	for _, q := range ch.queue {
+		n += len(q)
+	}
+	return n
+}
+
 // sweep runs the elimination loop over the queue heads. A head can only be
 // eliminated when every queue is non-empty (otherwise a not-yet-seen event
 // might be consistent with it), which mirrors the token-based algorithm.

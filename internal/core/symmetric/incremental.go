@@ -1,0 +1,81 @@
+package symmetric
+
+import (
+	"github.com/distributed-predicates/gpd/internal/core/relsum"
+)
+
+// Tracker is the online counterpart of Possibly: it consumes boolean
+// variable updates one event at a time (in any causality-respecting
+// order) and latches as soon as some consistent cut of the observed
+// prefix satisfies the symmetric predicate.
+//
+// Since a boolean variable flips by at most one per event, the derived
+// true-count is a unit-step sum, so the relsum.RangeTracker's streaming
+// interval [Min, Max] is exactly the set of counts attained by consistent
+// cuts of the prefix; the predicate has possibly held iff one of the
+// spec's levels lies in that interval — the sum decomposition of §4.3
+// carried over to the online setting.
+type Tracker struct {
+	spec  Spec
+	sum   *relsum.RangeTracker
+	found bool
+}
+
+// NewTracker starts a tracker for the spec; initTruth gives the initial
+// value of each process's boolean variable (nil means all false).
+func NewTracker(spec Spec, initTruth []bool) *Tracker {
+	var baseline int64
+	for _, b := range initTruth {
+		if b {
+			baseline++
+		}
+	}
+	t := &Tracker{spec: spec, sum: relsum.NewRangeTracker(baseline)}
+	t.check()
+	return t
+}
+
+// Observe adds one event: id and requires as for relsum.RangeTracker,
+// delta the change of the process's boolean variable (-1, 0 or +1).
+func (t *Tracker) Observe(id int64, delta int64, requires []int64) {
+	t.sum.Observe(id, delta, requires)
+}
+
+// Flush recomputes the attainable count interval and returns whether the
+// predicate has (now or earlier) possibly held.
+func (t *Tracker) Flush() bool {
+	t.sum.Flush()
+	t.check()
+	return t.found
+}
+
+// Prune forwards to the underlying range tracker (same contract).
+func (t *Tracker) Prune(ids []int64) {
+	t.sum.Prune(ids)
+	t.check()
+}
+
+func (t *Tracker) check() {
+	if t.found {
+		return
+	}
+	min, max := t.sum.Range()
+	for _, m := range t.spec.Levels {
+		if m < 0 || m > t.spec.N {
+			continue
+		}
+		if int64(m) >= min && int64(m) <= max {
+			t.found = true
+			return
+		}
+	}
+}
+
+// Found reports whether the predicate has been detected.
+func (t *Tracker) Found() bool { return t.found }
+
+// CountRange returns the attainable true-count interval observed so far.
+func (t *Tracker) CountRange() (min, max int64) { return t.sum.Range() }
+
+// Window returns the number of retained events.
+func (t *Tracker) Window() int { return t.sum.Window() }

@@ -1,0 +1,83 @@
+package symmetric
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/distributed-predicates/gpd/internal/computation"
+	"github.com/distributed-predicates/gpd/internal/gen"
+)
+
+// streamTracker feeds c's events into a fresh Tracker for spec in a random
+// linearization with periodic frontier pruning, returning the tracker.
+func streamTracker(c *computation.Computation, spec Spec, name string, rng *rand.Rand) *Tracker {
+	init := make([]bool, c.NumProcs())
+	for p := 0; p < c.NumProcs(); p++ {
+		init[p] = c.Var(name, c.Initial(computation.ProcID(p)).ID) != 0
+	}
+	tr := NewTracker(spec, init)
+
+	// Random causality-respecting order.
+	n := c.NumEvents()
+	indeg := make([]int, n)
+	var ready []computation.EventID
+	c.Events(func(e computation.Event) bool {
+		indeg[int(e.ID)] = len(c.DirectPreds(e.ID))
+		if indeg[int(e.ID)] == 0 {
+			ready = append(ready, e.ID)
+		}
+		return true
+	})
+	step := 0
+	for len(ready) > 0 {
+		i := rng.Intn(len(ready))
+		id := ready[i]
+		ready[i] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		e := c.Event(id)
+		if !e.IsInitial() {
+			var reqs []int64
+			for _, p := range c.DirectPreds(id) {
+				if !c.Event(p).IsInitial() {
+					reqs = append(reqs, int64(p))
+				}
+			}
+			d := c.Var(name, id) - c.Var(name, c.Prev(id))
+			tr.Observe(int64(id), d, reqs)
+			if step++; step%4 == 0 {
+				tr.Flush()
+			}
+		}
+		for _, s := range c.DirectSuccs(id) {
+			indeg[int(s)]--
+			if indeg[int(s)] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	tr.Flush()
+	return tr
+}
+
+// TestTrackerAgreesWithPossibly cross-checks the online tracker against
+// the offline Possibly detector across several symmetric specs.
+func TestTrackerAgreesWithPossibly(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed * 131))
+		c := gen.Random(gen.Params{Seed: seed, Procs: 3 + int(seed%3), Events: 7, MsgFrac: 0.4})
+		gen.BoolVar(seed+5, c, "b", 0.4)
+		truth := func(e computation.Event) bool { return c.Var("b", e.ID) != 0 }
+		n := c.NumProcs()
+		specs := []Spec{Xor(n), NoSimpleMajority(n), ExactlyK(n, n/2), NotAllEqual(n)}
+		for _, spec := range specs {
+			want, _, err := Possibly(c, spec, truth)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := streamTracker(c, spec, "b", rng).Found()
+			if got != want {
+				t.Fatalf("seed %d spec %v: tracker %v, offline Possibly %v", seed, spec, got, want)
+			}
+		}
+	}
+}

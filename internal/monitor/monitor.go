@@ -23,6 +23,7 @@ type Monitor struct {
 	n        int
 	obs      chan observation
 	stop     chan struct{}
+	stopOnce sync.Once
 	done     chan struct{}
 	detected chan struct{}
 
@@ -88,9 +89,12 @@ func (m *Monitor) Witness() []vclock.VC {
 	return out
 }
 
-// Shutdown stops the checker goroutine and waits for it to exit.
+// Shutdown stops the checker goroutine and waits for it to exit. It is
+// idempotent and safe to call from multiple goroutines, including
+// concurrently with in-flight Probe reports (reports select on the stop
+// channel and fall through once it closes).
 func (m *Monitor) Shutdown() {
-	close(m.stop)
+	m.stopOnce.Do(func() { close(m.stop) })
 	<-m.done
 }
 

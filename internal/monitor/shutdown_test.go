@@ -1,0 +1,118 @@
+package monitor
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestShutdownIdempotent verifies that Shutdown can be called repeatedly
+// and from multiple goroutines without panicking (regression: a second
+// Shutdown used to close an already-closed channel).
+func TestShutdownIdempotent(t *testing.T) {
+	m := New(2, []int{0, 1})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Shutdown()
+		}()
+	}
+	wg.Wait()
+	m.Shutdown() // and once more after everything is down
+}
+
+// TestShutdownDuringReports races Shutdown against probes that are still
+// reporting; run under -race this pins the safety of the stop path.
+func TestShutdownDuringReports(t *testing.T) {
+	m := New(3, []int{0, 1, 2})
+	var wg sync.WaitGroup
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			pr := m.Probe(p)
+			for i := 0; i < 1000; i++ {
+				pr.Internal(i%2 == 0)
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() {
+		m.Shutdown()
+		m.Shutdown()
+		close(done)
+	}()
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown did not return while probes were reporting")
+	}
+}
+
+// TestServerCloseIdempotent covers the TCP wrapper: double Close must not
+// panic and must return the same error.
+func TestServerCloseIdempotent(t *testing.T) {
+	s, err := ListenAndServe("127.0.0.1:0", 2, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestStalledPeerDisconnected verifies the idle timeout: a peer that
+// connects and then goes silent is disconnected instead of pinning a
+// serve goroutine forever, and the server still serves working probes.
+func TestStalledPeerDisconnected(t *testing.T) {
+	s, err := ListenAndServe("127.0.0.1:0", 2, []int{0, 1},
+		WithIdleTimeout(50*time.Millisecond), WithWriteTimeout(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// The stalled peer: dials and never writes.
+	stalled, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Close()
+
+	// The server must hang up on it: a read on our side sees EOF/reset.
+	stalled.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := stalled.Read(buf); err == nil {
+		t.Fatal("expected the server to disconnect the stalled peer")
+	}
+
+	// Meanwhile live probes still work end to end.
+	p0, err := DialProbe(s.Addr(), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p0.Close()
+	p1, err := DialProbe(s.Addr(), 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p1.Close()
+	if err := p0.Internal(true); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Internal(true); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-s.Detected():
+	case <-time.After(5 * time.Second):
+		t.Fatal("no detection after both probes reported true")
+	}
+}

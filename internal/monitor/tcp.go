@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/distributed-predicates/gpd/internal/vclock"
 )
@@ -35,24 +36,50 @@ type Server struct {
 	mon *Monitor
 	ln  net.Listener
 
-	mu    sync.Mutex
-	conns map[net.Conn]struct{}
-	wg    sync.WaitGroup
-	done  chan struct{}
+	idleTimeout  time.Duration // max silence before a peer is disconnected
+	writeTimeout time.Duration // max stall writing a status reply
+
+	mu        sync.Mutex
+	conns     map[net.Conn]struct{}
+	wg        sync.WaitGroup
+	done      chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithIdleTimeout bounds how long a connection may stay silent between
+// observations before the server disconnects it; zero means no limit. A
+// hung or stalled peer therefore cannot pin a serve goroutine (and its
+// buffers) forever.
+func WithIdleTimeout(d time.Duration) Option {
+	return func(s *Server) { s.idleTimeout = d }
+}
+
+// WithWriteTimeout bounds how long the server may block writing a status
+// reply to a peer that has stopped reading; zero means no limit.
+func WithWriteTimeout(d time.Duration) Option {
+	return func(s *Server) { s.writeTimeout = d }
 }
 
 // ListenAndServe starts a checker server on addr (e.g. "127.0.0.1:0") for
 // n processes and the given involved set. Close releases it.
-func ListenAndServe(addr string, n int, involved []int) (*Server, error) {
+func ListenAndServe(addr string, n int, involved []int, opts ...Option) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("monitor: listen: %w", err)
 	}
 	s := &Server{
-		mon:   New(n, involved),
-		ln:    ln,
-		conns: make(map[net.Conn]struct{}),
-		done:  make(chan struct{}),
+		mon:          New(n, involved),
+		ln:           ln,
+		writeTimeout: 30 * time.Second,
+		conns:        make(map[net.Conn]struct{}),
+		done:         make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(s)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -69,18 +96,22 @@ func (s *Server) Detected() <-chan struct{} { return s.mon.Detected() }
 func (s *Server) Witness() []vclock.VC { return s.mon.Witness() }
 
 // Close stops accepting, closes all connections and shuts the checker
-// down.
+// down. It is idempotent: repeated calls return the first error. Closing
+// the connections unblocks any serve goroutine stuck on a hung peer, so
+// Close never wedges behind one.
 func (s *Server) Close() error {
-	close(s.done)
-	err := s.ln.Close()
-	s.mu.Lock()
-	for c := range s.conns {
-		c.Close()
-	}
-	s.mu.Unlock()
-	s.wg.Wait()
-	s.mon.Shutdown()
-	return err
+	s.closeOnce.Do(func() {
+		close(s.done)
+		s.closeErr = s.ln.Close()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+		s.mon.Shutdown()
+	})
+	return s.closeErr
 }
 
 func (s *Server) acceptLoop() {
@@ -115,9 +146,12 @@ func (s *Server) serve(conn net.Conn) {
 	dec := json.NewDecoder(bufio.NewReader(conn))
 	enc := json.NewEncoder(conn)
 	for {
+		if s.idleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
+		}
 		var obs wireObservation
 		if err := dec.Decode(&obs); err != nil {
-			return // EOF or broken connection: the probe is done
+			return // EOF, deadline or broken connection: the probe is done
 		}
 		// Forward into the checker goroutine.
 		select {
@@ -135,6 +169,9 @@ func (s *Server) serve(conn net.Conn) {
 			st.Detected = true
 			st.Witness = s.mon.Witness()
 		default:
+		}
+		if s.writeTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
 		}
 		if err := enc.Encode(st); err != nil {
 			return

@@ -1,0 +1,91 @@
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+)
+
+// Client is a blocking wire-protocol client. One Client owns one TCP
+// connection; confine it to a goroutine (or guard it) — requests and
+// replies are strictly alternating on the wire. Multiple clients can
+// serve disjoint or even overlapping session sets concurrently.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a stream server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("stream: dial: %w", err)
+	}
+	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip frames a request and decodes the reply.
+func (c *Client) roundTrip(req Request) (Response, error) {
+	req.V = ProtocolVersion
+	if err := EncodeRequest(c.bw, req); err != nil {
+		return Response{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return Response{}, err
+	}
+	resp, err := c.DecodeReply()
+	if err != nil {
+		return Response{}, err
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("stream: server: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// DecodeReply reads one response frame (exported for pipelined callers).
+func (c *Client) DecodeReply() (Response, error) {
+	return DecodeResponse(c.br)
+}
+
+// Open creates a session on the server.
+func (c *Client) Open(id string, spec Spec) error {
+	_, err := c.roundTrip(Request{Type: "open", Session: id, Spec: &spec})
+	return err
+}
+
+// Append streams a batch of events; the returned flag is the server's
+// latched Possibly verdict as of the reply (it may trail these events —
+// a true answer is final, a false one is refined by later replies).
+func (c *Client) Append(id string, events []Event) (bool, error) {
+	resp, err := c.roundTrip(Request{Type: "append", Session: id, Events: events})
+	return resp.Possibly, err
+}
+
+// Query returns the session's counters after a synchronous flush.
+func (c *Client) Query(id string) (SessionStats, error) {
+	resp, err := c.roundTrip(Request{Type: "query", Session: id})
+	if err != nil {
+		return SessionStats{}, err
+	}
+	if resp.Stats == nil {
+		return SessionStats{}, fmt.Errorf("stream: query reply without stats")
+	}
+	return *resp.Stats, nil
+}
+
+// CloseSession finalizes the session and returns its verdict.
+func (c *Client) CloseSession(id string) (Verdict, error) {
+	resp, err := c.roundTrip(Request{Type: "close", Session: id})
+	if err != nil {
+		return Verdict{}, err
+	}
+	if resp.Verdict == nil {
+		return Verdict{}, fmt.Errorf("stream: close reply without verdict")
+	}
+	return *resp.Verdict, nil
+}

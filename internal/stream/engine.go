@@ -1,0 +1,350 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// Engine errors.
+var (
+	ErrEngineClosed   = errors.New("stream: engine is shut down")
+	ErrUnknownSession = errors.New("stream: unknown session")
+	ErrSessionExists  = errors.New("stream: session already open")
+)
+
+// Config sizes the engine.
+type Config struct {
+	// Shards is the number of worker goroutines; sessions are hashed
+	// onto shards, and each session is owned by exactly one worker (so
+	// detectors run lock-free). Default 4.
+	Shards int
+	// QueueLen is the per-shard mailbox capacity in messages. Default 256.
+	QueueLen int
+	// BatchSize is the maximum messages drained per worker iteration;
+	// each session touched in a batch gets exactly one detector flush,
+	// amortising closure recomputation over the whole drain. Default 64.
+	BatchSize int
+	// Policy selects what a full mailbox does with append traffic.
+	Policy OverflowPolicy
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 256
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	return c
+}
+
+// handle is the cross-goroutine view of a session: the worker publishes
+// counters through atomics, everyone else (stats endpoint, server append
+// acks) reads without locks.
+type handle struct {
+	id    string
+	kind  Kind
+	shard int
+
+	sess *Session // owned by the shard worker; never touched elsewhere
+
+	ingested  atomic.Uint64
+	delivered atomic.Int64
+	holdback  atomic.Int64
+	window    atomic.Int64
+	flushes   atomic.Int64
+	possibly  atomic.Bool
+	errStr    atomic.Value // string
+}
+
+func (h *handle) stats() SessionStats {
+	st := SessionStats{
+		ID:        h.id,
+		Kind:      h.kind.String(),
+		Shard:     h.shard,
+		Ingested:  h.ingested.Load(),
+		Delivered: h.delivered.Load(),
+		Holdback:  int(h.holdback.Load()),
+		Window:    int(h.window.Load()),
+		Flushes:   int(h.flushes.Load()),
+		Possibly:  h.possibly.Load(),
+	}
+	if e, _ := h.errStr.Load().(string); e != "" {
+		st.Error = e
+	}
+	return st
+}
+
+// shard is one worker: a mailbox plus the sessions it owns.
+type shard struct {
+	idx      int
+	mb       *mailbox
+	sessions map[string]*handle // worker-goroutine confined
+
+	frames        atomic.Uint64
+	events        atomic.Uint64
+	batches       atomic.Uint64
+	droppedFrames atomic.Uint64
+	droppedEvents atomic.Uint64
+	detections    atomic.Uint64
+	gauge         atomic.Int64
+}
+
+// Engine is the multi-tenant streaming detector: a pool of shard workers
+// behind bounded mailboxes. Open/Query/CloseSession are synchronous;
+// Append is asynchronous and subject to the overflow policy.
+type Engine struct {
+	cfg      Config
+	shards   []*shard
+	registry sync.Map // session id -> *handle
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+}
+
+// NewEngine starts the shard pool.
+func NewEngine(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{cfg: cfg}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{
+			idx:      i,
+			mb:       newMailbox(cfg.QueueLen),
+			sessions: make(map[string]*handle),
+		}
+		e.shards = append(e.shards, sh)
+		e.wg.Add(1)
+		go e.run(sh)
+	}
+	return e
+}
+
+// shardFor hashes a session id onto its owning shard.
+func (e *Engine) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return e.shards[int(h.Sum32())%len(e.shards)]
+}
+
+// run is one shard worker loop: drain a batch, apply every message, then
+// flush each touched session exactly once and publish its counters.
+func (e *Engine) run(sh *shard) {
+	defer e.wg.Done()
+	batch := make([]shardMsg, 0, e.cfg.BatchSize)
+	touched := make(map[string]*handle)
+	for {
+		var ok bool
+		batch, ok = sh.mb.drain(batch[:0], e.cfg.BatchSize)
+		for _, m := range batch {
+			e.apply(sh, m, touched)
+		}
+		if len(batch) > 0 {
+			sh.batches.Add(1)
+		}
+		for id, h := range touched {
+			delete(touched, id)
+			if h.sess == nil {
+				continue // closed within the batch
+			}
+			h.sess.Flush()
+			e.publish(sh, h)
+		}
+		if !ok {
+			return
+		}
+	}
+}
+
+// publish copies a session's state into its handle's atomics.
+func (e *Engine) publish(sh *shard, h *handle) {
+	s := h.sess
+	h.delivered.Store(s.Delivered())
+	h.holdback.Store(int64(s.Holdback()))
+	h.window.Store(int64(s.Window()))
+	h.flushes.Store(int64(s.Flushes()))
+	if err := s.Err(); err != nil {
+		h.errStr.Store(err.Error())
+	}
+	if s.Possibly() && !h.possibly.Load() {
+		h.possibly.Store(true)
+		sh.detections.Add(1)
+	}
+}
+
+// apply processes one mailbox message on the worker goroutine.
+func (e *Engine) apply(sh *shard, m shardMsg, touched map[string]*handle) {
+	sh.frames.Add(1)
+	switch m.kind {
+	case msgOpen:
+		if _, exists := sh.sessions[m.session]; exists {
+			m.reply <- shardReply{err: fmt.Errorf("%w: %q", ErrSessionExists, m.session)}
+			return
+		}
+		sess, err := NewSession(m.spec)
+		if err != nil {
+			m.reply <- shardReply{err: err}
+			return
+		}
+		h := &handle{id: m.session, kind: m.spec.Kind, shard: sh.idx, sess: sess}
+		sh.sessions[m.session] = h
+		e.registry.Store(m.session, h)
+		sh.gauge.Add(1)
+		e.publish(sh, h) // a satisfied initial cut latches immediately
+		m.reply <- shardReply{}
+	case msgAppend:
+		h, exists := sh.sessions[m.session]
+		if !exists {
+			sh.droppedFrames.Add(1)
+			sh.droppedEvents.Add(uint64(len(m.events)))
+			return
+		}
+		sh.events.Add(uint64(len(m.events)))
+		h.ingested.Add(uint64(len(m.events)))
+		for _, ev := range m.events {
+			if h.sess.Step(ev) != nil {
+				break // sticky error; publish carries it to the handle
+			}
+		}
+		touched[m.session] = h
+	case msgQuery:
+		h, exists := sh.sessions[m.session]
+		if !exists {
+			m.reply <- shardReply{err: fmt.Errorf("%w: %q", ErrUnknownSession, m.session)}
+			return
+		}
+		h.sess.Flush()
+		e.publish(sh, h)
+		m.reply <- shardReply{stats: h.stats()}
+	case msgClose:
+		h, exists := sh.sessions[m.session]
+		if !exists {
+			m.reply <- shardReply{err: fmt.Errorf("%w: %q", ErrUnknownSession, m.session)}
+			return
+		}
+		verdict, err := h.sess.Finalize()
+		e.publish(sh, h)
+		delete(sh.sessions, m.session)
+		e.registry.Delete(m.session)
+		sh.gauge.Add(-1)
+		h.sess = nil
+		delete(touched, m.session)
+		m.reply <- shardReply{verdict: verdict, err: err}
+	}
+}
+
+// sync sends a control message to the owning shard and waits for the
+// worker's reply.
+func (e *Engine) sync(id string, m shardMsg) (shardReply, error) {
+	if e.closed.Load() {
+		return shardReply{}, ErrEngineClosed
+	}
+	m.session = id
+	m.reply = make(chan shardReply, 1)
+	if _, ok := e.shardFor(id).mb.put(m, e.cfg.Policy); !ok {
+		return shardReply{}, ErrEngineClosed
+	}
+	return <-m.reply, nil
+}
+
+// Open creates a session.
+func (e *Engine) Open(id string, spec Spec) error {
+	r, err := e.sync(id, shardMsg{kind: msgOpen, spec: spec})
+	if err != nil {
+		return err
+	}
+	return r.err
+}
+
+// Append enqueues events for a session. It is asynchronous: delivery and
+// detection happen on the owning shard worker; under the DropOldest
+// policy an overloaded mailbox sheds its oldest append frame, which is
+// counted in the shard's dropped counters.
+func (e *Engine) Append(id string, events []Event) error {
+	if e.closed.Load() {
+		return ErrEngineClosed
+	}
+	sh := e.shardFor(id)
+	dropped, ok := sh.mb.put(shardMsg{kind: msgAppend, session: id, events: events}, e.cfg.Policy)
+	for _, d := range dropped {
+		sh.droppedFrames.Add(1)
+		sh.droppedEvents.Add(uint64(len(d.events)))
+	}
+	if !ok {
+		return ErrEngineClosed
+	}
+	return nil
+}
+
+// Query flushes a session and returns its counters.
+func (e *Engine) Query(id string) (SessionStats, error) {
+	r, err := e.sync(id, shardMsg{kind: msgQuery})
+	if err != nil {
+		return SessionStats{}, err
+	}
+	return r.stats, r.err
+}
+
+// CloseSession finalizes a session and returns its verdict (including
+// Definitely when the spec retained the trace).
+func (e *Engine) CloseSession(id string) (Verdict, error) {
+	r, err := e.sync(id, shardMsg{kind: msgClose})
+	if err != nil {
+		return Verdict{}, err
+	}
+	return r.verdict, r.err
+}
+
+// Possibly returns a session's latched verdict without synchronizing with
+// its worker (it may trail in-flight appends; a true answer is final).
+func (e *Engine) Possibly(id string) (possibly, exists bool) {
+	v, ok := e.registry.Load(id)
+	if !ok {
+		return false, false
+	}
+	return v.(*handle).possibly.Load(), true
+}
+
+// Snapshot assembles the stats surface without blocking any worker.
+func (e *Engine) Snapshot() Snapshot {
+	var snap Snapshot
+	for _, sh := range e.shards {
+		depth, hw := sh.mb.depth()
+		st := ShardStats{
+			Shard:          sh.idx,
+			Sessions:       int(sh.gauge.Load()),
+			Frames:         sh.frames.Load(),
+			Events:         sh.events.Load(),
+			Batches:        sh.batches.Load(),
+			DroppedFrames:  sh.droppedFrames.Load(),
+			DroppedEvents:  sh.droppedEvents.Load(),
+			QueueDepth:     depth,
+			QueueHighWater: hw,
+			Detections:     sh.detections.Load(),
+		}
+		snap.Shards = append(snap.Shards, st)
+		snap.Events += st.Events
+		snap.Dropped += st.DroppedFrames
+		snap.Detections += st.Detections
+	}
+	e.registry.Range(func(_, v any) bool {
+		snap.Sessions = append(snap.Sessions, v.(*handle).stats())
+		return true
+	})
+	return snap
+}
+
+// Shutdown stops the workers after draining queued messages. Idempotent.
+func (e *Engine) Shutdown() {
+	if e.closed.Swap(true) {
+		return
+	}
+	for _, sh := range e.shards {
+		sh.mb.close()
+	}
+	e.wg.Wait()
+}

@@ -1,0 +1,203 @@
+package stream
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Server exposes an Engine over TCP: one length-prefixed JSON frame per
+// request, one per reply, any number of sessions multiplexed over any
+// number of connections. The transport extends internal/monitor's TCP
+// checker to the multi-tenant setting: framed (so corrupt input fails
+// fast and fuzzably), versioned, and deadline-guarded so hung peers
+// cannot wedge a serve goroutine.
+type Server struct {
+	eng *Engine
+	ln  net.Listener
+
+	idleTimeout  time.Duration
+	writeTimeout time.Duration
+
+	mu        sync.Mutex
+	conns     map[net.Conn]struct{}
+	wg        sync.WaitGroup
+	done      chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithServerIdleTimeout bounds peer silence between frames; zero means no
+// limit.
+func WithServerIdleTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.idleTimeout = d }
+}
+
+// WithServerWriteTimeout bounds reply writes to a peer that stopped
+// reading; zero means no limit.
+func WithServerWriteTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.writeTimeout = d }
+}
+
+// ListenAndServe starts a server for the engine on addr (e.g.
+// "127.0.0.1:0"). The engine's lifecycle stays with the caller: Close
+// stops the listener and connections but not the engine.
+func ListenAndServe(addr string, eng *Engine, opts ...ServerOption) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("stream: listen: %w", err)
+	}
+	s := &Server{
+		eng:          eng,
+		ln:           ln,
+		writeTimeout: 30 * time.Second,
+		conns:        make(map[net.Conn]struct{}),
+		done:         make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener address to hand to clients.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Engine returns the served engine (for stats endpoints).
+func (s *Server) Engine() *Engine { return s.eng }
+
+// Close stops accepting and closes every connection. Idempotent.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.done)
+		s.closeErr = s.ln.Close()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+	})
+	return s.closeErr
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				continue // transient accept error: keep serving
+			}
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		if s.idleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
+		}
+		req, err := DecodeRequest(br)
+		if err != nil {
+			// Version/JSON errors get one best-effort complaint; framing
+			// and I/O errors just drop the connection.
+			if !errors.Is(err, ErrFrameTooLarge) && !errors.Is(err, ErrEmptyFrame) {
+				var ne net.Error
+				if errors.As(err, &ne) {
+					return
+				}
+			}
+			s.reply(conn, bw, Response{V: ProtocolVersion, Error: err.Error()})
+			return
+		}
+		resp := s.handle(req)
+		if !s.reply(conn, bw, resp) {
+			return
+		}
+	}
+}
+
+// reply frames one response; returns false when the connection is dead.
+func (s *Server) reply(conn net.Conn, bw *bufio.Writer, resp Response) bool {
+	if s.writeTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+	}
+	if err := EncodeResponse(bw, resp); err != nil {
+		return false
+	}
+	return bw.Flush() == nil
+}
+
+// handle executes one request against the engine.
+func (s *Server) handle(req Request) Response {
+	resp := Response{V: ProtocolVersion}
+	fail := func(err error) Response {
+		resp.Error = err.Error()
+		return resp
+	}
+	switch req.Type {
+	case "open":
+		if req.Spec == nil {
+			return fail(errors.New("stream: open without spec"))
+		}
+		if err := s.eng.Open(req.Session, *req.Spec); err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+		resp.Possibly, _ = s.eng.Possibly(req.Session)
+	case "append":
+		if err := s.eng.Append(req.Session, req.Events); err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+		// Detection is asynchronous; the latched flag may trail the
+		// events just appended, but a true answer is always final and a
+		// lagging false is refined by the next append or a query.
+		resp.Possibly, _ = s.eng.Possibly(req.Session)
+	case "query":
+		st, err := s.eng.Query(req.Session)
+		if err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+		resp.Possibly = st.Possibly
+		resp.Stats = &st
+	case "close":
+		verdict, err := s.eng.CloseSession(req.Session)
+		if err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+		resp.Possibly = verdict.Possibly
+		resp.Verdict = &verdict
+	default:
+		return fail(fmt.Errorf("stream: unknown request type %q", req.Type))
+	}
+	return resp
+}

@@ -1,0 +1,455 @@
+package stream
+
+import (
+	"fmt"
+
+	"github.com/distributed-predicates/gpd/internal/computation"
+	"github.com/distributed-predicates/gpd/internal/conjunctive"
+	"github.com/distributed-predicates/gpd/internal/core/relsum"
+	"github.com/distributed-predicates/gpd/internal/core/symmetric"
+	"github.com/distributed-predicates/gpd/internal/vclock"
+)
+
+// varName is the variable name used when a retained trace is rebuilt into
+// an offline computation at Close.
+const varName = "x"
+
+// Session is one monitored application instance: it ingests that
+// application's timestamped events, re-establishes causal order, and runs
+// the incremental detector for its predicate spec. A Session is confined
+// to one goroutine (the engine gives each session to exactly one shard
+// worker); it is not safe for concurrent use.
+//
+// Step buffers and delivers events; Flush advances the detector (batched,
+// so a shard amortises closure recomputations over a whole mailbox
+// drain); Finalize seals the stream and adds the Definitely verdict when
+// the spec retained the trace.
+type Session struct {
+	spec Spec
+	err  error // sticky failure; the session is dead once set
+
+	// Causal delivery.
+	delivered []int64   // events delivered per process
+	lastVC    [][]int64 // timestamp of the last delivered event per process
+	holdback  []Event   // arrived but not yet causally deliverable
+
+	// Conjunctive detector state.
+	checker *conjunctive.Checker
+	pending map[int][]vclock.VC // per-process true events awaiting a batch
+
+	// Sum-family detector state.
+	sum        *relsum.RangeTracker // SumEq
+	sym        *symmetric.Tracker   // Symmetric
+	lastVal    []int64              // variable value after the last delivered event
+	prunedUpto []int64              // per-process local index pruned into the baseline
+
+	retained []Event // full delivered trace when spec.Retain
+	possibly bool    // latched verdict as of the last Flush
+	flushes  int
+}
+
+// NewSession validates the spec and builds the session.
+func NewSession(spec Spec) (*Session, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	n := spec.Procs
+	s := &Session{
+		spec:       spec,
+		delivered:  make([]int64, n),
+		lastVC:     make([][]int64, n),
+		lastVal:    make([]int64, n),
+		prunedUpto: make([]int64, n),
+	}
+	copy(s.lastVal, spec.Init)
+	switch spec.Kind {
+	case Conjunctive:
+		s.checker = conjunctive.NewChecker(s.involved())
+		s.pending = make(map[int][]vclock.VC)
+	case SumEq:
+		var baseline int64
+		for _, v := range spec.Init {
+			baseline += v
+		}
+		s.sum = relsum.NewRangeTracker(baseline)
+		s.possibly = baseline == spec.K // the initial cut is a consistent cut
+	case Symmetric:
+		init := make([]bool, n)
+		for p, v := range spec.Init {
+			init[p] = v != 0
+		}
+		s.sym = symmetric.NewTracker(symmetric.Spec{N: n, Levels: spec.Levels}, init)
+		s.possibly = s.sym.Found()
+	}
+	return s, nil
+}
+
+// involved returns the conjunctive involved set (default: all processes).
+func (s *Session) involved() []int {
+	if len(s.spec.Involved) > 0 {
+		return s.spec.Involved
+	}
+	all := make([]int, s.spec.Procs)
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// evID packs a (process, local index) pair into the tracker id space.
+func (s *Session) evID(proc int, index int64) int64 {
+	return index*int64(s.spec.Procs) + int64(proc)
+}
+
+// Step ingests one event. Events of one process must arrive in local
+// order; arbitrary interleaving (even causal reordering) across processes
+// is handled by the holdback buffer. Returns the session's sticky error,
+// if any.
+func (s *Session) Step(ev Event) error {
+	if s.err != nil {
+		return s.err
+	}
+	if ev.Proc < 0 || ev.Proc >= s.spec.Procs {
+		return s.fail(fmt.Errorf("stream: event for process %d of %d", ev.Proc, s.spec.Procs))
+	}
+	if len(ev.VC) != s.spec.Procs {
+		return s.fail(fmt.Errorf("stream: event timestamp has %d components, want %d", len(ev.VC), s.spec.Procs))
+	}
+	own := ev.VC[ev.Proc]
+	if own <= s.delivered[ev.Proc] && !s.heldBack(ev.Proc, own) {
+		return nil // duplicate delivery (e.g. client retry): idempotent
+	}
+	s.holdback = append(s.holdback, ev)
+	s.drain()
+	if s.spec.MaxWindow > 0 {
+		if len(s.holdback) > s.spec.MaxWindow {
+			return s.fail(fmt.Errorf("stream: holdback exceeds max window %d (gap in the stream?)", s.spec.MaxWindow))
+		}
+		if w := s.Window(); w > s.spec.MaxWindow {
+			return s.fail(fmt.Errorf("stream: detector window %d exceeds max window %d (a process is silent?)", w, s.spec.MaxWindow))
+		}
+	}
+	return s.err
+}
+
+// heldBack reports whether the event with the given own-component is
+// already waiting in the holdback buffer.
+func (s *Session) heldBack(proc int, own int64) bool {
+	for _, h := range s.holdback {
+		if h.Proc == proc && h.VC[proc] == own {
+			return true
+		}
+	}
+	return false
+}
+
+// fail latches the session error.
+func (s *Session) fail(err error) error {
+	s.err = err
+	return err
+}
+
+// drain delivers every causally deliverable holdback event.
+func (s *Session) drain() {
+	for {
+		progress := false
+		kept := s.holdback[:0]
+		for _, ev := range s.holdback {
+			if s.err == nil && s.deliverable(ev) {
+				s.deliver(ev)
+				progress = true
+			} else {
+				kept = append(kept, ev)
+			}
+		}
+		s.holdback = kept
+		if !progress {
+			return
+		}
+	}
+}
+
+// deliverable implements the causal delivery condition: the event is the
+// next local event of its process and its cross-process dependencies have
+// all been delivered.
+func (s *Session) deliverable(ev Event) bool {
+	if ev.VC[ev.Proc] != s.delivered[ev.Proc]+1 {
+		return false
+	}
+	for q, v := range ev.VC {
+		if q != ev.Proc && v > s.delivered[q] {
+			return false
+		}
+	}
+	return true
+}
+
+// deliver feeds one causally ready event to the detector.
+func (s *Session) deliver(ev Event) {
+	p := ev.Proc
+	s.delivered[p] = ev.VC[p]
+	s.lastVC[p] = ev.VC
+	if s.spec.Retain {
+		s.retained = append(s.retained, ev)
+	}
+	switch s.spec.Kind {
+	case Conjunctive:
+		if ev.Truth {
+			s.pending[p] = append(s.pending[p], vclock.VC(ev.VC))
+		}
+	case SumEq:
+		d := ev.Val - s.lastVal[p]
+		if d > 1 || d < -1 {
+			s.fail(fmt.Errorf("stream: %w: process %d event %d changes by %d",
+				relsum.ErrNotUnitStep, p, ev.VC[p], d))
+			return
+		}
+		s.lastVal[p] = ev.Val
+		s.sum.Observe(s.evID(p, ev.VC[p]), d, s.requires(ev))
+	case Symmetric:
+		var v int64
+		if ev.Truth {
+			v = 1
+		}
+		d := v - s.lastVal[p]
+		s.lastVal[p] = v
+		s.sym.Observe(s.evID(p, ev.VC[p]), d, s.requires(ev))
+	}
+}
+
+// requires derives the event's direct causal dependencies from its
+// timestamp: its local predecessor and, per other process, the latest
+// event of that process in its causal past. Local chains make the
+// transitive constraints follow.
+func (s *Session) requires(ev Event) []int64 {
+	var reqs []int64
+	if own := ev.VC[ev.Proc]; own >= 2 {
+		reqs = append(reqs, s.evID(ev.Proc, own-1))
+	}
+	for q, v := range ev.VC {
+		if q != ev.Proc && v >= 1 {
+			reqs = append(reqs, s.evID(q, v))
+		}
+	}
+	return reqs
+}
+
+// Flush advances the detector over everything delivered since the last
+// flush (one elimination sweep or closure recomputation per call, however
+// many events arrived), prunes the sum-family window below the common
+// vector-clock frontier, and returns the latched Possibly verdict.
+func (s *Session) Flush() bool {
+	if s.err != nil {
+		return s.possibly
+	}
+	s.flushes++
+	switch s.spec.Kind {
+	case Conjunctive:
+		for p, vcs := range s.pending {
+			if len(vcs) > 0 {
+				s.checker.ObserveBatch(p, vcs)
+			}
+			delete(s.pending, p)
+		}
+		s.possibly = s.checker.Found()
+	case SumEq:
+		s.sum.Flush()
+		s.pruneFrontier()
+		if min, max := s.sum.Range(); min <= s.spec.K && s.spec.K <= max {
+			s.possibly = true
+		}
+	case Symmetric:
+		s.sym.Flush()
+		s.pruneFrontier()
+		if s.sym.Found() {
+			s.possibly = true
+		}
+	}
+	return s.possibly
+}
+
+// pruneFrontier folds every event below the component-wise minimum of the
+// processes' latest timestamps into the tracker baseline: those events
+// are in the causal past of every event yet to arrive, so every cut still
+// to be formed contains them (see relsum.RangeTracker).
+func (s *Session) pruneFrontier() {
+	n := s.spec.Procs
+	min := make([]int64, n)
+	for q := range min {
+		min[q] = int64(1) << 62
+	}
+	for _, vc := range s.lastVC {
+		if vc == nil {
+			return // a process has not reported yet: nothing is stable
+		}
+		for q, v := range vc {
+			if v < min[q] {
+				min[q] = v
+			}
+		}
+	}
+	var ids []int64
+	for q := 0; q < n; q++ {
+		for i := s.prunedUpto[q] + 1; i <= min[q]; i++ {
+			ids = append(ids, s.evID(q, i))
+		}
+		if min[q] > s.prunedUpto[q] {
+			s.prunedUpto[q] = min[q]
+		}
+	}
+	if len(ids) == 0 {
+		return
+	}
+	switch s.spec.Kind {
+	case SumEq:
+		s.sum.Prune(ids)
+	case Symmetric:
+		s.sym.Prune(ids)
+	}
+}
+
+// Possibly returns the latched verdict as of the last Flush.
+func (s *Session) Possibly() bool { return s.possibly }
+
+// Err returns the session's sticky error, if any.
+func (s *Session) Err() error { return s.err }
+
+// Delivered returns the total number of causally delivered events.
+func (s *Session) Delivered() int64 {
+	var t int64
+	for _, d := range s.delivered {
+		t += d
+	}
+	return t
+}
+
+// Holdback returns the number of buffered undeliverable events.
+func (s *Session) Holdback() int { return len(s.holdback) }
+
+// Window returns the detector's retained state size: queued candidates
+// for conjunctive sessions, unpruned window events for sum sessions.
+func (s *Session) Window() int {
+	switch s.spec.Kind {
+	case Conjunctive:
+		n := s.checker.Pending()
+		for _, vcs := range s.pending {
+			n += len(vcs)
+		}
+		return n
+	case SumEq:
+		return s.sum.Window()
+	case Symmetric:
+		return s.sym.Window()
+	}
+	return 0
+}
+
+// Flushes returns the number of detector flushes performed.
+func (s *Session) Flushes() int { return s.flushes }
+
+// Finalize seals the stream: it flushes the detector, verifies the stream
+// was gapless, and — when the spec retained the trace — rebuilds the
+// computation and decides Definitely with the offline detectors. The
+// Possibly verdict in the returned Verdict is exact for the complete
+// computation.
+func (s *Session) Finalize() (Verdict, error) {
+	s.Flush()
+	v := Verdict{Possibly: s.possibly}
+	if s.err != nil {
+		return v, s.err
+	}
+	if len(s.holdback) > 0 {
+		return v, s.fail(fmt.Errorf("stream: %d events undeliverable at close (gaps in the stream)", len(s.holdback)))
+	}
+	if !s.spec.Retain {
+		return v, nil
+	}
+	c, err := s.buildComputation()
+	if err != nil {
+		return v, s.fail(err)
+	}
+	switch s.spec.Kind {
+	case Conjunctive:
+		truth := make([][]bool, s.spec.Procs)
+		for p := range truth {
+			truth[p] = make([]bool, s.delivered[p]+1)
+		}
+		for _, ev := range s.retained {
+			if ev.Truth {
+				truth[ev.Proc][ev.VC[ev.Proc]] = true
+			}
+		}
+		locals := make(map[computation.ProcID]conjunctive.LocalPredicate)
+		for _, p := range s.involved() {
+			row := truth[p]
+			locals[computation.ProcID(p)] = func(e computation.Event) bool {
+				return e.Index < len(row) && row[e.Index]
+			}
+		}
+		v.Definitely = conjunctive.DetectDefinitely(c, locals)
+		v.DefinitelyKnown = true
+	case SumEq:
+		def, err := relsum.Definitely(c, varName, relsum.Eq, s.spec.K)
+		if err != nil {
+			return v, s.fail(err)
+		}
+		v.Definitely, v.DefinitelyKnown = def, true
+	case Symmetric:
+		spec := symmetric.Spec{N: s.spec.Procs, Levels: s.spec.Levels}
+		truth := func(e computation.Event) bool { return c.Var(varName, e.ID) != 0 }
+		def, err := symmetric.Definitely(c, spec, truth)
+		if err != nil {
+			return v, s.fail(err)
+		}
+		v.Definitely, v.DefinitelyKnown = def, true
+	}
+	return v, nil
+}
+
+// buildComputation reconstructs the offline computation from the retained
+// trace: one initial event plus the delivered events per process, with
+// order edges derived from the timestamps (for each event and each other
+// process, an edge from the latest event of that process in its causal
+// past — the transitive closure of these is exactly the happened-before
+// relation the timestamps encode).
+func (s *Session) buildComputation() (*computation.Computation, error) {
+	c := computation.New()
+	for p := 0; p < s.spec.Procs; p++ {
+		c.AddProcess() // creates the initial event at index 0
+		for i := int64(1); i <= s.delivered[p]; i++ {
+			c.AddInternal(computation.ProcID(p))
+		}
+		if s.spec.Kind != Conjunctive {
+			var init int64
+			if p < len(s.spec.Init) {
+				init = s.spec.Init[p]
+			}
+			c.SetVar(varName, c.Initial(computation.ProcID(p)).ID, init)
+		}
+	}
+	for _, ev := range s.retained {
+		to := c.EventAt(computation.ProcID(ev.Proc), int(ev.VC[ev.Proc])).ID
+		for q, v := range ev.VC {
+			if q != ev.Proc && v >= 1 {
+				from := c.EventAt(computation.ProcID(q), int(v)).ID
+				if err := c.AddEdge(from, to); err != nil {
+					return nil, fmt.Errorf("stream: rebuild edge: %w", err)
+				}
+			}
+		}
+		if s.spec.Kind != Conjunctive {
+			val := ev.Val
+			if s.spec.Kind == Symmetric {
+				val = 0
+				if ev.Truth {
+					val = 1
+				}
+			}
+			c.SetVar(varName, to, val)
+		}
+	}
+	if err := c.Seal(); err != nil {
+		return nil, fmt.Errorf("stream: rebuild: %w", err)
+	}
+	return c, nil
+}

@@ -1,0 +1,152 @@
+// Package stream is the online serving subsystem: multi-tenant streaming
+// predicate detection over vector-clock-timestamped event streams.
+//
+// A monitored application instance opens a Session with a predicate Spec
+// (conjunctive, unit-step sum equality, or symmetric) and streams its
+// events — every event, not just interesting ones, each carrying the
+// vector timestamp produced by an online vclock.Clock. Sessions deliver
+// events in causal order (holding back out-of-order arrivals), feed the
+// incremental detectors built on the offline engines (conjunctive.Checker,
+// relsum.RangeTracker, symmetric.Tracker), and latch a Possibly verdict
+// the moment some consistent cut of the observed prefix satisfies the
+// predicate. Memory stays bounded by pruning everything below the
+// vector-clock frontier common to all processes, in the spirit of Chauhan
+// et al., "A Distributed Abstraction Algorithm for Online Predicate
+// Detection" (arXiv:1304.4326), with incremental maintenance following
+// Mittal & Garg's slicing line of work (arXiv:cs/0303010).
+//
+// Engine shards sessions over a pool of workers with bounded, batched,
+// backpressured mailboxes; Server exposes the engine over TCP with
+// length-prefixed JSON frames. See the package's e2e tests for the full
+// serving path.
+package stream
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind selects the predicate family of a session.
+type Kind int
+
+const (
+	// Conjunctive detects Possibly of a conjunction of per-process local
+	// predicates: events carry a Truth flag, and the session feeds the
+	// true ones to the token-based online checker. Initial states are
+	// taken to be false.
+	Conjunctive Kind = iota + 1
+	// SumEq detects Possibly(x1+...+xn = K) for a unit-step integer
+	// variable: events carry the variable's value after the event.
+	SumEq
+	// Symmetric detects Possibly of a symmetric boolean predicate given
+	// by its level set: events carry the process's boolean variable.
+	Symmetric
+)
+
+// String names the kind (also the wire encoding).
+func (k Kind) String() string {
+	switch k {
+	case Conjunctive:
+		return "conjunctive"
+	case SumEq:
+		return "sumeq"
+	case Symmetric:
+		return "symmetric"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// ParseKind parses the wire encoding of a kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "conjunctive":
+		return Conjunctive, nil
+	case "sumeq":
+		return SumEq, nil
+	case "symmetric":
+		return Symmetric, nil
+	default:
+		return 0, fmt.Errorf("stream: unknown predicate kind %q", s)
+	}
+}
+
+// Spec is the per-session predicate specification.
+type Spec struct {
+	// Kind selects the predicate family.
+	Kind Kind `json:"kind"`
+	// Procs is the number of processes in the monitored application.
+	Procs int `json:"procs"`
+	// Involved lists the processes carrying a local predicate
+	// (Conjunctive only); nil means all.
+	Involved []int `json:"involved,omitempty"`
+	// K is the sum target (SumEq only).
+	K int64 `json:"k,omitempty"`
+	// Levels is the true-count level set (Symmetric only).
+	Levels []int `json:"levels,omitempty"`
+	// Init gives the initial per-process variable values (SumEq: the
+	// variable; Symmetric: 0/1 truth). nil means all zero/false.
+	Init []int64 `json:"init,omitempty"`
+	// Retain keeps the full delivered trace so Close can also decide the
+	// Definitely modality offline. Costs O(events) memory.
+	Retain bool `json:"retain,omitempty"`
+	// MaxWindow bounds retained-window and holdback sizes; a session
+	// exceeding it fails rather than grow without bound (a silent or
+	// partitioned process prevents frontier pruning). 0 means no bound.
+	MaxWindow int `json:"max_window,omitempty"`
+}
+
+// Validate checks the spec for structural errors.
+func (sp Spec) Validate() error {
+	if sp.Procs < 1 {
+		return fmt.Errorf("stream: spec needs procs >= 1, got %d", sp.Procs)
+	}
+	switch sp.Kind {
+	case Conjunctive:
+		for _, p := range sp.Involved {
+			if p < 0 || p >= sp.Procs {
+				return fmt.Errorf("stream: involved process %d out of range [0,%d)", p, sp.Procs)
+			}
+		}
+	case SumEq:
+	case Symmetric:
+		if len(sp.Levels) == 0 {
+			return errors.New("stream: symmetric spec needs a non-empty level set")
+		}
+	default:
+		return fmt.Errorf("stream: unknown predicate kind %d", int(sp.Kind))
+	}
+	if len(sp.Init) > sp.Procs {
+		return fmt.Errorf("stream: %d initial values for %d processes", len(sp.Init), sp.Procs)
+	}
+	if sp.MaxWindow < 0 {
+		return fmt.Errorf("stream: negative max window %d", sp.MaxWindow)
+	}
+	return nil
+}
+
+// Event is one timestamped event of the monitored application. VC is the
+// vector timestamp produced by the process's online clock (component p =
+// number of events of process p in the causal past, inclusive). Events of
+// one process must be appended in local order; interleaving across
+// processes is arbitrary — sessions re-establish causal order.
+type Event struct {
+	Proc  int     `json:"proc"`
+	VC    []int64 `json:"vc"`
+	Truth bool    `json:"truth,omitempty"` // Conjunctive, Symmetric
+	Val   int64   `json:"val,omitempty"`   // SumEq
+}
+
+// Verdict is a session's detection outcome.
+type Verdict struct {
+	// Possibly reports whether some consistent cut of the streamed
+	// computation satisfies the predicate. Latched: exact at Close, and
+	// already-true verdicts mid-stream are final.
+	Possibly bool `json:"possibly"`
+	// Definitely reports whether every run passes through a satisfying
+	// cut; only meaningful when DefinitelyKnown.
+	Definitely bool `json:"definitely,omitempty"`
+	// DefinitelyKnown is set when the session retained the trace and
+	// could run the offline Definitely detector at Close.
+	DefinitelyKnown bool `json:"definitely_known,omitempty"`
+}

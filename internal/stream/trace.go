@@ -1,0 +1,84 @@
+package stream
+
+import (
+	"github.com/distributed-predicates/gpd/internal/computation"
+)
+
+// Bridging a sealed offline computation into the streaming world: replay
+// its events as the wire Events an instrumented application would have
+// produced. Used by the e2e drivers and the agreement tests, which replay
+// generator/simulator traces through a Session and cross-check the
+// verdicts against the offline detectors.
+
+// clockToVC converts a sealed computation's timestamp (which counts
+// initial events) to the online vector-clock convention (which has no
+// initial events): component q drops the initial event when present.
+func clockToVC(clk []int32) []int64 {
+	vc := make([]int64, len(clk))
+	for q, v := range clk {
+		if v >= 1 {
+			vc[q] = int64(v) - 1
+		}
+	}
+	return vc
+}
+
+// Trace linearizes the non-initial events of a sealed computation in
+// topological order, filling each wire event's payload via fill (set
+// Truth or Val from the event's variables). Sessions re-establish causal
+// order themselves, so any permutation of the result is also a valid
+// input stream.
+func Trace(c *computation.Computation, fill func(e computation.Event, ev *Event)) []Event {
+	var out []Event
+	for _, id := range c.Topo() {
+		e := c.Event(id)
+		if e.IsInitial() {
+			continue
+		}
+		ev := Event{Proc: int(e.Proc), VC: clockToVC(c.Clock(id))}
+		if fill != nil {
+			fill(e, &ev)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// SumTrace replays the named variable: events carry its value, and the
+// returned init slice holds the per-process initial values for the Spec.
+func SumTrace(c *computation.Computation, name string) (events []Event, init []int64) {
+	init = make([]int64, c.NumProcs())
+	for p := range init {
+		init[p] = c.Var(name, c.Initial(computation.ProcID(p)).ID)
+	}
+	events = Trace(c, func(e computation.Event, ev *Event) {
+		ev.Val = c.Var(name, e.ID)
+	})
+	return events, init
+}
+
+// BoolTrace replays the named 0/1 variable as Truth flags, with 0/1
+// initial values for the Spec.
+func BoolTrace(c *computation.Computation, name string) (events []Event, init []int64) {
+	init = make([]int64, c.NumProcs())
+	for p := range init {
+		if c.Var(name, c.Initial(computation.ProcID(p)).ID) != 0 {
+			init[p] = 1
+		}
+	}
+	events = Trace(c, func(e computation.Event, ev *Event) {
+		ev.Truth = c.Var(name, e.ID) != 0
+	})
+	return events, init
+}
+
+// TableTrace replays per-process truth tables (the generator/simulator
+// representation) as Truth flags. Initial states are taken as false, so
+// rows' index-0 entries are ignored — matching the online convention that
+// probes report events, not initial states.
+func TableTrace(c *computation.Computation, truth [][]bool) []Event {
+	return Trace(c, func(e computation.Event, ev *Event) {
+		row := truth[int(e.Proc)]
+		ev.Truth = e.Index < len(row) && row[e.Index]
+	})
+}

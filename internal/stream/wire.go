@@ -1,0 +1,134 @@
+package stream
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wire protocol: length-prefixed JSON frames over TCP. Each frame is a
+// 4-byte big-endian payload length followed by that many bytes of JSON.
+// Requests carry a protocol version so the format can evolve; frames are
+// bounded by MaxFrame so a malicious or corrupt length can neither wedge
+// a reader nor make it over-allocate.
+
+const (
+	// ProtocolVersion is the wire protocol version this package speaks.
+	ProtocolVersion = 1
+	// MaxFrame is the largest accepted frame payload, in bytes.
+	MaxFrame = 1 << 20
+	// frameHeaderLen is the length prefix size.
+	frameHeaderLen = 4
+)
+
+// Frame-level errors.
+var (
+	ErrFrameTooLarge = errors.New("stream: frame exceeds maximum size")
+	ErrEmptyFrame    = errors.New("stream: empty frame")
+)
+
+// Request is a client-to-server message.
+type Request struct {
+	V       int     `json:"v"`
+	Type    string  `json:"type"` // "open", "append", "query", "close"
+	Session string  `json:"session"`
+	Spec    *Spec   `json:"spec,omitempty"`   // open
+	Events  []Event `json:"events,omitempty"` // append
+}
+
+// Response is the server's reply to each request frame.
+type Response struct {
+	V        int           `json:"v"`
+	OK       bool          `json:"ok"`
+	Error    string        `json:"error,omitempty"`
+	Possibly bool          `json:"possibly,omitempty"` // latched verdict as of the reply
+	Verdict  *Verdict      `json:"verdict,omitempty"`  // close
+	Stats    *SessionStats `json:"stats,omitempty"`    // query
+}
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame payload. Oversized or empty
+// lengths error before any payload allocation, so a hostile peer cannot
+// make the reader allocate more than MaxFrame bytes.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, ErrEmptyFrame
+	}
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// EncodeRequest frames a request.
+func EncodeRequest(w io.Writer, req Request) error {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	return WriteFrame(w, payload)
+}
+
+// DecodeRequest reads and decodes one request frame, validating the
+// protocol version. It never panics on malformed input: truncated
+// headers, hostile lengths and invalid JSON all return errors.
+func DecodeRequest(r io.Reader) (Request, error) {
+	payload, err := ReadFrame(r)
+	if err != nil {
+		return Request{}, err
+	}
+	var req Request
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return Request{}, fmt.Errorf("stream: bad request frame: %w", err)
+	}
+	if req.V != ProtocolVersion {
+		return Request{}, fmt.Errorf("stream: protocol version %d, want %d", req.V, ProtocolVersion)
+	}
+	return req, nil
+}
+
+// EncodeResponse frames a response.
+func EncodeResponse(w io.Writer, resp Response) error {
+	payload, err := json.Marshal(resp)
+	if err != nil {
+		return err
+	}
+	return WriteFrame(w, payload)
+}
+
+// DecodeResponse reads and decodes one response frame.
+func DecodeResponse(r io.Reader) (Response, error) {
+	payload, err := ReadFrame(r)
+	if err != nil {
+		return Response{}, err
+	}
+	var resp Response
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		return Response{}, fmt.Errorf("stream: bad response frame: %w", err)
+	}
+	return resp, nil
+}
