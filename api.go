@@ -1,0 +1,336 @@
+package gpd
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/distributed-predicates/gpd/internal/conjunctive"
+	"github.com/distributed-predicates/gpd/internal/core/relsum"
+	"github.com/distributed-predicates/gpd/internal/core/singular"
+	"github.com/distributed-predicates/gpd/internal/core/symmetric"
+	"github.com/distributed-predicates/gpd/internal/lattice"
+	"github.com/distributed-predicates/gpd/internal/obs"
+	"github.com/distributed-predicates/gpd/internal/pred"
+)
+
+// Spec is a predicate specification: one family plus its parameters. Build
+// one with ParseSpec, from JSON, or as a literal; Detect validates it
+// against the computation. The same type backs the gpddetect command line
+// and the streaming wire protocol, so a predicate string accepted anywhere
+// in the repository parses here too.
+type Spec = pred.Spec
+
+// SpecFamily selects a predicate family.
+type SpecFamily = pred.Family
+
+// SpecLiteral is one (possibly negated) per-process literal of a CNF
+// clause.
+type SpecLiteral = pred.Literal
+
+// SpecClause is a disjunction of literals on distinct processes.
+type SpecClause = pred.Clause
+
+// Predicate families.
+const (
+	// FamilyConjunctive is all(var): the 0/1 variable true on every process.
+	FamilyConjunctive = pred.Conjunctive
+	// FamilySum is sum(var) relop k over the per-process variable sums.
+	FamilySum = pred.Sum
+	// FamilyCount is count(var) relop k on the number of true processes.
+	FamilyCount = pred.Count
+	// FamilyXor is xor(var): odd parity of the 0/1 variable.
+	FamilyXor = pred.Xor
+	// FamilyLevels is levels(var): m1, m2, ... — the general symmetric
+	// predicate given by its true-count level set.
+	FamilyLevels = pred.Levels
+	// FamilyCNF is a singular CNF predicate over the 0/1 variable.
+	FamilyCNF = pred.CNF
+	// FamilyInFlight is inflight relop k on channel occupancy.
+	FamilyInFlight = pred.InFlight
+)
+
+// ParseSpec parses the predicate grammar shared by every surface:
+//
+//	all(<var>)                  conjunction over all processes
+//	sum(<var>) <relop> <k>      relational sum predicate
+//	count(<var>) <relop> <k>    symmetric predicate on the true-count
+//	xor(<var>)                  exclusive-or (odd parity)
+//	levels(<var>): m1, m2, ...  symmetric predicate by level set
+//	inflight <relop> <k>        messages in flight
+//	cnf(<var>): (0 | !1) & (2)  singular CNF; literals are process ids
+func ParseSpec(text string) (Spec, error) { return pred.Parse(text) }
+
+// Modality selects between the weak and strong interpretation of a
+// predicate over a computation.
+type Modality int
+
+const (
+	// ModalityPossibly asks whether SOME consistent cut satisfies the
+	// predicate (the default).
+	ModalityPossibly Modality = iota + 1
+	// ModalityDefinitely asks whether EVERY run passes through a
+	// satisfying cut.
+	ModalityDefinitely
+)
+
+// String names the modality.
+func (m Modality) String() string {
+	switch m {
+	case ModalityPossibly:
+		return "possibly"
+	case ModalityDefinitely:
+		return "definitely"
+	default:
+		return fmt.Sprintf("modality(%d)", int(m))
+	}
+}
+
+// ParseModality parses "possibly" or "definitely".
+func ParseModality(s string) (Modality, error) {
+	switch s {
+	case "possibly":
+		return ModalityPossibly, nil
+	case "definitely":
+		return ModalityDefinitely, nil
+	default:
+		return 0, fmt.Errorf("gpd: unknown modality %q", s)
+	}
+}
+
+// Trace collects per-run observability data: timed spans and named work
+// counters. All methods are safe on a nil *Trace (no-ops), so detectors
+// are unconditionally instrumented. Pass one to Detect with WithTrace to
+// share it across runs; otherwise Detect creates a private trace and
+// returns its report.
+type Trace = obs.Trace
+
+// Work is the rendered observability report of a detection run: spans,
+// work counters and notes. Its String method prints a human-readable
+// summary (the gpddetect -report output).
+type Work = obs.Report
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return obs.NewTrace() }
+
+// Option configures Detect.
+type Option func(*detectOptions)
+
+type detectOptions struct {
+	modality    Modality
+	strategy    SingularStrategy
+	strategySet bool
+	trace       *obs.Trace
+}
+
+// WithModality selects the modality; the default is ModalityPossibly.
+func WithModality(m Modality) Option {
+	return func(o *detectOptions) { o.modality = m }
+}
+
+// WithStrategy selects the singular detection algorithm. It applies only
+// to FamilyCNF specs under ModalityPossibly; Detect rejects any other
+// combination instead of silently ignoring the option.
+func WithStrategy(s SingularStrategy) Option {
+	return func(o *detectOptions) { o.strategy = s; o.strategySet = true }
+}
+
+// WithTrace routes the run's spans and work counters into the given
+// trace, accumulating across calls. The final Report.Work still reflects
+// everything the trace has seen.
+func WithTrace(tr *Trace) Option {
+	return func(o *detectOptions) { o.trace = tr }
+}
+
+// Report is the outcome of Detect.
+type Report struct {
+	// Spec is the predicate that was decided.
+	Spec Spec
+	// Modality is the modality that was decided.
+	Modality Modality
+	// Holds is the verdict: Possibly(spec) or Definitely(spec).
+	Holds bool
+	// Witness, when non-nil, is a consistent cut satisfying the
+	// predicate. Produced only under ModalityPossibly, and only by the
+	// families whose detectors construct cuts (all, sum ==, count, xor,
+	// levels, inflight ==, cnf).
+	Witness Cut
+	// Strategy is the singular algorithm that produced the answer
+	// (FamilyCNF under ModalityPossibly only).
+	Strategy SingularStrategy
+	// Combinations counts the CPDHB sub-runs tried (FamilyCNF under
+	// ModalityPossibly only).
+	Combinations int
+	// Min and Max bound the tracked quantity over all consistent cuts
+	// when HasRange is set (FamilyInFlight).
+	Min, Max int64
+	// HasRange reports whether Min and Max are meaningful.
+	HasRange bool
+	// Work reports the spans and work counters of this run (or of the
+	// caller's accumulated trace when WithTrace was used).
+	Work Work
+}
+
+// Detect is the single front door for offline predicate detection: it
+// decides spec under the chosen modality on the sealed computation,
+// dispatching to the cheapest applicable detector — CPDHB for
+// conjunctions, max-weight closures for sums and channel occupancy, the
+// sum decomposition for symmetric predicates, the singular algorithms for
+// CNF — and falling back to lattice reachability where only the
+// exponential route is known (the Definitely side of sum, symmetric and
+// CNF; see the package comment).
+//
+// The zero options decide Possibly. Errors come from spec validation
+// (including against the computation's process count), option conflicts,
+// and detector preconditions such as ErrNotUnitStep.
+func Detect(c *Computation, s Spec, opts ...Option) (Report, error) {
+	o := detectOptions{modality: ModalityPossibly, strategy: StrategyAuto}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	switch o.modality {
+	case ModalityPossibly, ModalityDefinitely:
+	default:
+		return Report{}, fmt.Errorf("gpd: unknown modality %v", o.modality)
+	}
+	if o.strategySet {
+		if s.Family != FamilyCNF {
+			return Report{}, fmt.Errorf("gpd: strategy %v applies only to cnf predicates, not %v", o.strategy, s.Family)
+		}
+		if o.modality != ModalityPossibly {
+			return Report{}, fmt.Errorf("gpd: strategy %v applies only under possibly; definitely uses lattice reachability", o.strategy)
+		}
+	}
+	if err := s.Validate(c.NumProcs()); err != nil {
+		return Report{}, err
+	}
+	tr := o.trace
+	if tr == nil {
+		tr = obs.NewTrace()
+	}
+	rep := Report{Spec: s, Modality: o.modality}
+	done := tr.Span("detect:" + s.Family.String())
+	err := dispatch(c, s, &o, tr, &rep)
+	done()
+	if err != nil {
+		return Report{}, err
+	}
+	rep.Work = tr.Report()
+	return rep, nil
+}
+
+func dispatch(c *Computation, s Spec, o *detectOptions, tr *obs.Trace, rep *Report) error {
+	definitely := o.modality == ModalityDefinitely
+	truth := func(e Event) bool { return c.Var(s.Var, e.ID) != 0 }
+
+	switch s.Family {
+	case FamilyConjunctive:
+		locals := make(map[ProcID]LocalPredicate, c.NumProcs())
+		for p := 0; p < c.NumProcs(); p++ {
+			locals[ProcID(p)] = truth
+		}
+		if definitely {
+			rep.Holds = conjunctive.DetectDefinitelyTraced(c, locals, tr)
+			return nil
+		}
+		res := conjunctive.DetectTraced(c, locals, tr)
+		rep.Holds, rep.Witness = res.Found, res.Cut
+		return nil
+
+	case FamilySum:
+		if definitely {
+			ok, err := relsum.DefinitelyTraced(c, s.Var, s.Rel, s.K, tr)
+			rep.Holds = ok
+			return err
+		}
+		if s.Rel == Eq {
+			ok, cut, err := relsum.PossiblyEqWitnessTraced(c, s.Var, s.K, tr)
+			rep.Holds, rep.Witness = ok, cut
+			return err
+		}
+		ok, err := relsum.PossiblyTraced(c, s.Var, s.Rel, s.K, tr)
+		rep.Holds = ok
+		return err
+
+	case FamilyCount, FamilyXor, FamilyLevels:
+		spec := symmetricSpec(c.NumProcs(), s)
+		if definitely {
+			ok, err := symmetric.DefinitelyTraced(c, spec, truth, tr)
+			rep.Holds = ok
+			return err
+		}
+		ok, cut, err := symmetric.PossiblyTraced(c, spec, truth, tr)
+		rep.Holds, rep.Witness = ok, cut
+		return err
+
+	case FamilyInFlight:
+		min, max := relsum.InFlightRangeTraced(c, tr)
+		rep.Min, rep.Max, rep.HasRange = min, max, true
+		if definitely {
+			ok, err := relsum.DefinitelyWeightedTraced(c, 0, relsum.InFlightWeight(c), s.Rel, s.K, tr)
+			rep.Holds = ok
+			return err
+		}
+		if s.Rel == Eq {
+			ok, cut, err := relsum.PossiblyQuiescentTraced(c, s.K, tr)
+			rep.Holds, rep.Witness = ok, cut
+			return err
+		}
+		rep.Holds = s.Rel.Eval(min, s.K) || s.Rel.Eval(max, s.K)
+		return nil
+
+	case FamilyCNF:
+		p := singularPredicate(s)
+		if definitely {
+			if err := p.Validate(c); err != nil {
+				return err
+			}
+			rep.Holds = lattice.DefinitelyTraced(c, func(cc *Computation, k Cut) bool {
+				return p.Holds(cc, truth, k)
+			}, tr)
+			return nil
+		}
+		res, err := singular.DetectTraced(c, p, truth, o.strategy, tr)
+		if err != nil {
+			return err
+		}
+		rep.Holds, rep.Witness = res.Found, res.Cut
+		rep.Strategy, rep.Combinations = res.Strategy, res.Combinations
+		return nil
+	}
+	return fmt.Errorf("gpd: unknown predicate family %v", s.Family)
+}
+
+// symmetricSpec builds the level-set form of the Count, Xor and Levels
+// families for a computation with n processes.
+func symmetricSpec(n int, s Spec) SymmetricSpec {
+	switch s.Family {
+	case FamilyXor:
+		return symmetric.Xor(n)
+	case FamilyCount:
+		return symmetric.FromFunc(n, func(m int) bool { return s.Rel.Eval(int64(m), s.K) })
+	default: // FamilyLevels
+		levels := append([]int(nil), s.Levels...)
+		sort.Ints(levels)
+		out := levels[:0]
+		for i, m := range levels {
+			if i == 0 || m != levels[i-1] {
+				out = append(out, m)
+			}
+		}
+		return SymmetricSpec{N: n, Levels: out}
+	}
+}
+
+// singularPredicate converts the CNF body of a spec into the singular
+// detector's representation.
+func singularPredicate(s Spec) *SingularPredicate {
+	p := &SingularPredicate{}
+	for _, cl := range s.Clauses {
+		var out SingularClause
+		for _, l := range cl {
+			out = append(out, SingularLiteral{Proc: ProcID(l.Proc), Negated: l.Negated})
+		}
+		p.Clauses = append(p.Clauses, out)
+	}
+	return p
+}

@@ -3,39 +3,64 @@
 //
 // Usage:
 //
-//	gpdbench            # run every experiment
-//	gpdbench -run E3    # run one experiment by id (F1..F3, E1..E7)
-//	gpdbench -list      # list experiment ids
+//	gpdbench                        # run every experiment
+//	gpdbench -run E3                # run one experiment by id (F1..F3, E1..E7)
+//	gpdbench -list                  # list experiment ids
+//	gpdbench -report                # trace a detection workload, print its work report
+//	gpdbench -obs-baseline out.json # measure instrumentation overhead on stream ingest
+//
+// -report runs every detector family through gpd.Detect on a simulated
+// token-ring trace with a shared trace and prints the accumulated work
+// report (spans, counters, notes). -obs-baseline replays the
+// BenchmarkStreamIngest workload twice — metrics registry off, then on —
+// and writes a JSON baseline recording the throughput of both runs and
+// the relative overhead; CI tracks the committed BENCH_obs.json against
+// the < 5% budget.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
+	gpd "github.com/distributed-predicates/gpd"
 	"github.com/distributed-predicates/gpd/internal/experiments"
+	"github.com/distributed-predicates/gpd/internal/obs"
+	"github.com/distributed-predicates/gpd/internal/stream"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "gpdbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("gpdbench", flag.ContinueOnError)
 	runID := fs.String("run", "", "run only the experiment with this id (e.g. E3)")
 	list := fs.Bool("list", false, "list experiment ids and exit")
+	report := fs.Bool("report", false, "trace one detection per family and print the work report")
+	obsBaseline := fs.String("obs-baseline", "", "measure instrumentation overhead on stream ingest and write a JSON baseline to this file (- for stdout)")
+	obsEvents := fs.Int("obs-events", 1<<18, "events per ingest measurement for -obs-baseline")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *list {
 		for _, r := range experiments.All() {
-			fmt.Printf("%-4s %s\n", r.ID, r.Name)
+			fmt.Fprintf(stdout, "%-4s %s\n", r.ID, r.Name)
 		}
 		return nil
+	}
+	if *report {
+		return workReport(stdout)
+	}
+	if *obsBaseline != "" {
+		return obsBaselineRun(stdout, *obsBaseline, *obsEvents)
 	}
 	if *runID != "" {
 		r := experiments.Get(*runID)
@@ -46,11 +71,198 @@ func run(args []string) error {
 			}
 			return fmt.Errorf("unknown experiment %q (known: %s)", *runID, strings.Join(ids, ", "))
 		}
-		fmt.Println(r.Run().String())
+		fmt.Fprintln(stdout, r.Run().String())
 		return nil
 	}
 	for _, r := range experiments.All() {
-		fmt.Println(r.Run().String())
+		fmt.Fprintln(stdout, r.Run().String())
 	}
 	return nil
+}
+
+// workReport runs one detection per family (and both modalities where the
+// family supports them) on a simulated token-ring trace, all sharing one
+// trace, and prints the verdicts followed by the accumulated work report.
+func workReport(w io.Writer) error {
+	sim := gpd.NewSimulator(7, gpd.NewTokenRingProcs(6, 3, 1, 4))
+	c, err := sim.Run()
+	if err != nil {
+		return err
+	}
+	tr := gpd.NewTrace()
+	runs := []struct {
+		pred     string
+		modality gpd.Modality
+	}{
+		{"all(tokens)", gpd.ModalityPossibly},
+		{"all(tokens)", gpd.ModalityDefinitely},
+		{"sum(tokens) == 3", gpd.ModalityPossibly},
+		{"sum(tokens) >= 1", gpd.ModalityDefinitely},
+		{"count(tokens) >= 1", gpd.ModalityPossibly},
+		{"xor(tokens)", gpd.ModalityPossibly},
+		{"levels(tokens): 0, 3", gpd.ModalityPossibly},
+		{"inflight >= 1", gpd.ModalityPossibly},
+		{"cnf(tokens): (0 | 1) & (2 | 3)", gpd.ModalityPossibly},
+	}
+	for _, r := range runs {
+		spec, err := gpd.ParseSpec(r.pred)
+		if err != nil {
+			return err
+		}
+		rep, err := gpd.Detect(c, spec, gpd.WithModality(r.modality), gpd.WithTrace(tr))
+		if err != nil {
+			return err
+		}
+		modality := "Possibly"
+		if r.modality == gpd.ModalityDefinitely {
+			modality = "Definitely"
+		}
+		fmt.Fprintf(w, "%s(%s) = %v\n", modality, spec, rep.Holds)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, tr.Report())
+	return nil
+}
+
+// obsBaseline is the JSON shape of BENCH_obs.json.
+type obsBaselineOut struct {
+	Benchmark        string  `json:"benchmark"`
+	Events           int     `json:"events"`
+	Rounds           int     `json:"rounds"`
+	BaselineEvtSec   float64 `json:"baseline_events_per_sec"`
+	MeteredEvtSec    float64 `json:"instrumented_events_per_sec"`
+	OverheadPct      float64 `json:"overhead_pct"`
+	OverheadBudgeted float64 `json:"overhead_budget_pct"`
+}
+
+// obsBaselineRun measures stream ingest throughput with the metrics
+// registry off and on, writes the JSON baseline, and fails when the
+// overhead exceeds the budget so CI can gate on the committed file.
+func obsBaselineRun(stdout io.Writer, path string, events int) error {
+	const rounds = 3
+	base, err := bestIngest(nil, events, rounds)
+	if err != nil {
+		return err
+	}
+	metered, err := bestIngest(obs.NewRegistry(), events, rounds)
+	if err != nil {
+		return err
+	}
+	out := obsBaselineOut{
+		Benchmark:        "BenchmarkStreamIngest",
+		Events:           events,
+		Rounds:           rounds,
+		BaselineEvtSec:   base,
+		MeteredEvtSec:    metered,
+		OverheadPct:      100 * (base - metered) / base,
+		OverheadBudgeted: 5,
+	}
+	var w io.Writer = stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	if path != "-" {
+		fmt.Fprintf(stdout, "baseline %.0f ev/s, instrumented %.0f ev/s, overhead %.2f%% (budget %.0f%%) -> %s\n",
+			out.BaselineEvtSec, out.MeteredEvtSec, out.OverheadPct, out.OverheadBudgeted, path)
+	}
+	if out.OverheadPct > out.OverheadBudgeted {
+		return fmt.Errorf("instrumentation overhead %.2f%% exceeds %.0f%% budget", out.OverheadPct, out.OverheadBudgeted)
+	}
+	return nil
+}
+
+// bestIngest runs the ingest workload `rounds` times against a fresh
+// engine and returns the best observed throughput, the conventional way
+// to compare two configurations on a noisy host.
+func bestIngest(metrics *obs.Registry, events, rounds int) (float64, error) {
+	best := 0.0
+	for i := 0; i < rounds; i++ {
+		got, err := ingestOnce(metrics, events)
+		if err != nil {
+			return 0, err
+		}
+		if got > best {
+			best = got
+		}
+	}
+	return best, nil
+}
+
+// ingestOnce replays the BenchmarkStreamIngest workload — one SumEq
+// session per shard, in-order unit-step streams, batched appends,
+// Backpressure policy — and returns events/sec.
+func ingestOnce(metrics *obs.Registry, events int) (float64, error) {
+	const (
+		procs    = 8
+		batch    = 64
+		sessions = 4
+	)
+	eng := stream.NewEngine(stream.Config{Shards: 4, QueueLen: 256, BatchSize: 64, Metrics: metrics})
+	defer eng.Shutdown()
+
+	type source struct {
+		vcs  [][]int64
+		step int
+	}
+	srcs := make([]*source, sessions)
+	ids := make([]string, sessions)
+	for s := range srcs {
+		src := &source{vcs: make([][]int64, procs)}
+		for p := range src.vcs {
+			src.vcs[p] = make([]int64, procs)
+		}
+		srcs[s] = src
+		ids[s] = fmt.Sprintf("bench-%d", s)
+		if err := eng.Open(ids[s], stream.Spec{Kind: stream.SumEq, Procs: procs, K: -1}); err != nil {
+			return 0, err
+		}
+	}
+	next := func(src *source, out []stream.Event) []stream.Event {
+		for i := 0; i < batch; i++ {
+			p := src.step % procs
+			src.vcs[p][p]++
+			if src.step%7 == 0 {
+				q := (p + 1) % procs
+				for r := 0; r < procs; r++ {
+					if src.vcs[q][r] > src.vcs[p][r] {
+						src.vcs[p][r] = src.vcs[q][r]
+					}
+				}
+			}
+			out = append(out, stream.Event{
+				Proc: p,
+				VC:   append([]int64(nil), src.vcs[p]...),
+				Val:  int64(src.step % 2),
+			})
+			src.step++
+		}
+		return out
+	}
+
+	start := time.Now()
+	sent := 0
+	for i := 0; sent < events; i++ {
+		s := i % sessions
+		evs := next(srcs[s], make([]stream.Event, 0, batch))
+		if err := eng.Append(ids[s], evs); err != nil {
+			return 0, err
+		}
+		sent += len(evs)
+	}
+	for _, id := range ids { // drain the mailboxes before stopping the clock
+		if _, err := eng.Query(id); err != nil {
+			return 0, err
+		}
+	}
+	return float64(sent) / time.Since(start).Seconds(), nil
 }

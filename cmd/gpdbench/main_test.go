@@ -1,24 +1,74 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
 func TestList(t *testing.T) {
-	if err := run([]string{"-list"}); err != nil {
+	if err := run([]string{"-list"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSingleFastExperiment(t *testing.T) {
 	// F2 is instantaneous: the Figure 2 relations table.
-	if err := run([]string{"-run", "F2"}); err != nil {
+	if err := run([]string{"-run", "F2"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestUnknownExperiment(t *testing.T) {
-	if err := run([]string{"-run", "Z9"}); err == nil {
+	if err := run([]string{"-run", "Z9"}, io.Discard); err == nil {
 		t.Fatal("unknown experiment id must error")
+	}
+}
+
+func TestWorkReport(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-report"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"Possibly(sum(tokens) == 3)",
+		"Definitely(all(tokens))",
+		"Possibly(cnf(tokens): (0 | 1) & (2 | 3))",
+		"detect:cnf",
+		"maxflow.augmenting_paths",
+		"singular.cpdhb_runs",
+		"conjunctive.tokens_advanced",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestObsBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "obs.json")
+	var out bytes.Buffer
+	// A tiny event count keeps the test fast; throughput numbers are
+	// noisy at this size, so only the file shape is asserted.
+	err := run([]string{"-obs-baseline", path, "-obs-events", "4096"}, &out)
+	if err != nil && !strings.Contains(err.Error(), "exceeds") {
+		t.Fatal(err)
+	}
+	data, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	var got obsBaselineOut
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchmark != "BenchmarkStreamIngest" || got.Events != 4096 ||
+		got.BaselineEvtSec <= 0 || got.MeteredEvtSec <= 0 {
+		t.Fatalf("baseline file: %+v", got)
 	}
 }

@@ -8,15 +8,23 @@
 //	gpddetect -trace mutex.json -pred 'count(cs) >= 2'
 //	gpddetect -trace votes.json -pred 'xor(yes)'
 //	gpddetect -trace t.json -pred 'cnf(flag): (0 | !1) & (2 | 3)' -strategy auto
+//	gpddetect -trace ring.json -pred 'levels(tokens): 0, 2' -report
 //
-// Predicate syntax:
+// The predicate grammar is the one shared by every surface of the
+// library (gpd.ParseSpec):
 //
+//	all(<var>)                  conjunction of the 0/1 variable
 //	sum(<var>) <relop> <k>      relational sum predicate
 //	count(<var>) <relop> <k>    symmetric predicate on a 0/1 variable
 //	xor(<var>)                  exclusive-or of the 0/1 variable
+//	levels(<var>): m1, m2, ...  symmetric predicate by level set
+//	inflight <relop> <k>        messages in flight
 //	cnf(<var>): <clauses>       singular CNF over the 0/1 variable, with
 //	                            per-process literals "3" or "!3" joined by
 //	                            | within clauses and & between clauses
+//
+// -report appends the run's work accounting (timed spans and per-phase
+// work counters) to the verdict.
 package main
 
 import (
@@ -25,8 +33,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
 
 	gpd "github.com/distributed-predicates/gpd"
 )
@@ -41,15 +47,45 @@ func main() {
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("gpddetect", flag.ContinueOnError)
 	trace := fs.String("trace", "-", "trace file (- for stdin)")
-	pred := fs.String("pred", "", "predicate (see package comment)")
+	predText := fs.String("pred", "", "predicate (see package comment)")
 	modality := fs.String("modality", "possibly", "possibly or definitely")
 	strategy := fs.String("strategy", "auto", "singular strategy: auto, receive-ordered, send-ordered, subsets, chains")
+	report := fs.Bool("report", false, "print the run's work counters and timed spans")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *pred == "" {
+	if *predText == "" {
 		return errors.New("missing -pred")
 	}
+	spec, err := gpd.ParseSpec(*predText)
+	if err != nil {
+		return err
+	}
+	mod, err := gpd.ParseModality(*modality)
+	if err != nil {
+		return err
+	}
+	strat, err := parseStrategy(*strategy)
+	if err != nil {
+		return err
+	}
+	strategySet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "strategy" {
+			strategySet = true
+		}
+	})
+	// The CLI predates Detect's support for these combinations and keeps
+	// rejecting them so scripted callers see the same behavior as before.
+	if mod == gpd.ModalityDefinitely {
+		switch spec.Family {
+		case gpd.FamilyInFlight:
+			return errors.New("definitely is not supported for inflight predicates")
+		case gpd.FamilyCNF:
+			return errors.New("definitely is not supported for cnf predicates")
+		}
+	}
+
 	var r io.Reader = stdin
 	if *trace != "-" {
 		f, err := os.Open(*trace)
@@ -63,226 +99,43 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("read trace: %w", err)
 	}
-	definitely := false
-	switch *modality {
-	case "possibly":
-	case "definitely":
-		definitely = true
-	default:
-		return fmt.Errorf("unknown modality %q", *modality)
+
+	opts := []gpd.Option{gpd.WithModality(mod)}
+	if strategySet {
+		// Detect rejects the option for non-cnf predicates and under
+		// definitely, instead of silently ignoring it like the old CLI.
+		opts = append(opts, gpd.WithStrategy(strat))
 	}
-	return detect(stdout, c, *pred, definitely, *strategy)
+	rep, err := gpd.Detect(c, spec, opts...)
+	if err != nil {
+		return err
+	}
+	printReport(stdout, rep, *report)
+	return nil
 }
 
-func detect(w io.Writer, c *gpd.Computation, pred string, definitely bool, strategy string) error {
+// printReport renders a detection report in the CLI's historical output
+// format: one verdict line, a witness line when a cut was constructed,
+// and optionally the work accounting.
+func printReport(w io.Writer, rep gpd.Report, withWork bool) {
+	mod := "Possibly"
+	if rep.Modality == gpd.ModalityDefinitely {
+		mod = "Definitely"
+	}
+	fmt.Fprintf(w, "%s(%s) = %v", mod, rep.Spec, rep.Holds)
 	switch {
-	case strings.HasPrefix(pred, "sum("):
-		name, rel, k, err := parseRelPred(pred, "sum")
-		if err != nil {
-			return err
-		}
-		if definitely {
-			ok, err := gpd.DefinitelySum(c, name, rel, k)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(w, "Definitely(sum(%s) %v %d) = %v\n", name, rel, k, ok)
-			return nil
-		}
-		if rel == gpd.Eq {
-			ok, cut, err := gpd.PossiblySumWitness(c, name, k)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(w, "Possibly(sum(%s) == %d) = %v\n", name, k, ok)
-			if ok {
-				fmt.Fprintf(w, "witness cut: %v\n", cut)
-			}
-			return nil
-		}
-		ok, err := gpd.PossiblySum(c, name, rel, k)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "Possibly(sum(%s) %v %d) = %v\n", name, rel, k, ok)
-		return nil
-
-	case strings.HasPrefix(pred, "count("), strings.HasPrefix(pred, "xor("):
-		var spec gpd.SymmetricSpec
-		var name, desc string
-		if strings.HasPrefix(pred, "xor(") {
-			name = strings.TrimSuffix(strings.TrimPrefix(pred, "xor("), ")")
-			spec = gpd.Xor(c.NumProcs())
-			desc = fmt.Sprintf("xor(%s)", name)
-		} else {
-			var rel gpd.Relop
-			var k int64
-			var err error
-			name, rel, k, err = parseRelPred(pred, "count")
-			if err != nil {
-				return err
-			}
-			spec = gpd.SymmetricFromFunc(c.NumProcs(), func(m int) bool { return rel.Eval(int64(m), k) })
-			desc = fmt.Sprintf("count(%s) %v %d", name, rel, k)
-		}
-		truth := func(e gpd.Event) bool { return c.Var(name, e.ID) != 0 }
-		if definitely {
-			ok, err := gpd.DefinitelySymmetric(c, spec, truth)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(w, "Definitely(%s) = %v\n", desc, ok)
-			return nil
-		}
-		ok, cut, err := gpd.PossiblySymmetric(c, spec, truth)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "Possibly(%s) = %v\n", desc, ok)
-		if ok {
-			fmt.Fprintf(w, "witness cut: %v\n", cut)
-		}
-		return nil
-
-	case strings.HasPrefix(pred, "all("):
-		name := strings.TrimSuffix(strings.TrimPrefix(pred, "all("), ")")
-		locals := make(map[gpd.ProcID]gpd.LocalPredicate, c.NumProcs())
-		for p := 0; p < c.NumProcs(); p++ {
-			locals[gpd.ProcID(p)] = func(e gpd.Event) bool { return c.Var(name, e.ID) != 0 }
-		}
-		if definitely {
-			ok := gpd.DefinitelyConjunctive(c, locals)
-			fmt.Fprintf(w, "Definitely(all(%s)) = %v\n", name, ok)
-			return nil
-		}
-		res := gpd.PossiblyConjunctive(c, locals)
-		fmt.Fprintf(w, "Possibly(all(%s)) = %v\n", name, res.Found)
-		if res.Found {
-			fmt.Fprintf(w, "witness cut: %v\n", res.Cut)
-		}
-		return nil
-
-	case strings.HasPrefix(pred, "inflight"):
-		if definitely {
-			return errors.New("definitely is not supported for inflight predicates")
-		}
-		fields := strings.Fields(strings.TrimPrefix(pred, "inflight"))
-		if len(fields) != 2 {
-			return fmt.Errorf("want %q, got %q", "inflight relop k", pred)
-		}
-		rel, err := gpd.ParseRelop(fields[0])
-		if err != nil {
-			return err
-		}
-		k, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			return fmt.Errorf("bad constant %q", fields[1])
-		}
-		min, max := gpd.InFlightRange(c)
-		if rel == gpd.Eq {
-			ok, cut, err := gpd.PossiblyInFlight(c, k)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(w, "Possibly(inflight == %d) = %v (range [%d,%d])\n", k, ok, min, max)
-			if ok {
-				fmt.Fprintf(w, "witness cut: %v\n", cut)
-			}
-			return nil
-		}
-		var ok bool
-		switch rel {
-		case gpd.Lt:
-			ok = min < k
-		case gpd.Le:
-			ok = min <= k
-		case gpd.Ge:
-			ok = max >= k
-		case gpd.Gt:
-			ok = max > k
-		case gpd.Ne:
-			ok = min != k || max != k
-		}
-		fmt.Fprintf(w, "Possibly(inflight %v %d) = %v (range [%d,%d])\n", rel, k, ok, min, max)
-		return nil
-
-	case strings.HasPrefix(pred, "cnf("):
-		if definitely {
-			return errors.New("definitely is not supported for cnf predicates")
-		}
-		name, p, err := parseCNFPred(pred)
-		if err != nil {
-			return err
-		}
-		strat, err := parseStrategy(strategy)
-		if err != nil {
-			return err
-		}
-		res, err := gpd.PossiblySingular(c, p, gpd.TruthFromVar(c, name), strat)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "Possibly(%s) = %v (strategy %v, %d combination(s))\n",
-			p, res.Found, res.Strategy, res.Combinations)
-		if res.Found {
-			fmt.Fprintf(w, "witness cut: %v\n", res.Cut)
-		}
-		return nil
+	case rep.Spec.Family == gpd.FamilyCNF && rep.Modality == gpd.ModalityPossibly:
+		fmt.Fprintf(w, " (strategy %v, %d combination(s))", rep.Strategy, rep.Combinations)
+	case rep.HasRange:
+		fmt.Fprintf(w, " (range [%d,%d])", rep.Min, rep.Max)
 	}
-	return fmt.Errorf("cannot parse predicate %q", pred)
-}
-
-// parseRelPred parses "kind(name) relop k".
-func parseRelPred(s, kind string) (string, gpd.Relop, int64, error) {
-	rest := strings.TrimPrefix(s, kind+"(")
-	i := strings.Index(rest, ")")
-	if i < 0 {
-		return "", 0, 0, fmt.Errorf("missing ) in %q", s)
+	fmt.Fprintln(w)
+	if rep.Holds && rep.Witness != nil {
+		fmt.Fprintf(w, "witness cut: %v\n", rep.Witness)
 	}
-	name := rest[:i]
-	fields := strings.Fields(rest[i+1:])
-	if len(fields) != 2 {
-		return "", 0, 0, fmt.Errorf("want %q, got %q", kind+"(v) relop k", s)
+	if withWork {
+		fmt.Fprint(w, rep.Work)
 	}
-	rel, err := gpd.ParseRelop(fields[0])
-	if err != nil {
-		return "", 0, 0, err
-	}
-	k, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return "", 0, 0, fmt.Errorf("bad constant %q", fields[1])
-	}
-	return name, rel, k, nil
-}
-
-// parseCNFPred parses "cnf(name): (0 | !1) & (2)".
-func parseCNFPred(s string) (string, *gpd.SingularPredicate, error) {
-	rest := strings.TrimPrefix(s, "cnf(")
-	i := strings.Index(rest, "):")
-	if i < 0 {
-		return "", nil, fmt.Errorf("want %q, got %q", "cnf(var): clauses", s)
-	}
-	name := rest[:i]
-	body := rest[i+2:]
-	p := &gpd.SingularPredicate{}
-	for _, clause := range strings.Split(body, "&") {
-		clause = strings.TrimSpace(clause)
-		clause = strings.TrimPrefix(clause, "(")
-		clause = strings.TrimSuffix(clause, ")")
-		var cl gpd.SingularClause
-		for _, lit := range strings.Split(clause, "|") {
-			lit = strings.TrimSpace(lit)
-			neg := strings.HasPrefix(lit, "!")
-			lit = strings.TrimPrefix(lit, "!")
-			proc, err := strconv.Atoi(lit)
-			if err != nil {
-				return "", nil, fmt.Errorf("bad literal %q", lit)
-			}
-			cl = append(cl, gpd.SingularLiteral{Proc: gpd.ProcID(proc), Negated: neg})
-		}
-		p.Clauses = append(p.Clauses, cl)
-	}
-	return name, p, nil
 }
 
 func parseStrategy(s string) (gpd.SingularStrategy, error) {

@@ -147,6 +147,45 @@ func TestBadInputs(t *testing.T) {
 	}
 }
 
+func TestLevelsPredicate(t *testing.T) {
+	trace := writeRingTrace(t)
+	out := detectOut(t, "-trace", trace, "-pred", "levels(tokens): 0, 2")
+	if !strings.Contains(out, "Possibly(levels(tokens): 0, 2) = true") {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestReportFlag(t *testing.T) {
+	trace := writeRingTrace(t)
+	out := detectOut(t, "-trace", trace, "-pred", "sum(tokens) == 2", "-report")
+	for _, want := range []string{"= true", "detect:sum", "maxflow.augmenting_paths"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestStrategyRejectedOffCNF: an explicitly set -strategy used to be
+// silently ignored for non-cnf predicates and under definitely; it is an
+// error now. The unset default stays silent.
+func TestStrategyRejectedOffCNF(t *testing.T) {
+	trace := writeRingTrace(t)
+	for _, bad := range [][]string{
+		{"-trace", trace, "-pred", "sum(tokens) == 2", "-strategy", "chains"},
+		{"-trace", trace, "-pred", "all(tokens)", "-strategy", "auto"},
+	} {
+		var out bytes.Buffer
+		if err := run(bad, strings.NewReader(""), &out); err == nil {
+			t.Errorf("run(%v) should fail", bad)
+		}
+	}
+	// Not setting -strategy at all keeps working for every family.
+	out := detectOut(t, "-trace", trace, "-pred", "sum(tokens) == 2")
+	if !strings.Contains(out, "= true") {
+		t.Errorf("got %q", out)
+	}
+}
+
 func TestAllPredicate(t *testing.T) {
 	trace := writeRingTrace(t)
 	out := detectOut(t, "-trace", trace, "-pred", "all(tokens)")

@@ -11,7 +11,9 @@
 // The wire protocol is length-prefixed JSON frames (see internal/stream);
 // examples/streamclient is a ready-made load generator and correctness
 // checker. The -stats listener serves expvar-style JSON at /debug/vars
-// with per-shard and per-session counters.
+// with per-shard and per-session counters, Prometheus text exposition at
+// /metrics, and (with -pprof) the net/http/pprof profiling endpoints
+// under /debug/pprof/.
 package main
 
 import (
@@ -22,11 +24,13 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"github.com/distributed-predicates/gpd/internal/obs"
 	"github.com/distributed-predicates/gpd/internal/stream"
 )
 
@@ -49,11 +53,16 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 	policy := fs.String("policy", "backpressure", "mailbox overflow policy: backpressure or drop-oldest")
 	idle := fs.Duration("idle-timeout", 5*time.Minute, "disconnect peers silent for this long (0: never)")
 	write := fs.Duration("write-timeout", 30*time.Second, "per-reply write deadline (0: none)")
+	withPprof := fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the -stats listener")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *withPprof && *statsAddr == "" {
+		return errors.New("-pprof needs -stats to serve on")
+	}
 
-	cfg := stream.Config{Shards: *shards, QueueLen: *queue, BatchSize: *batch}
+	metrics := obs.NewRegistry()
+	cfg := stream.Config{Shards: *shards, QueueLen: *queue, BatchSize: *batch, Metrics: metrics}
 	switch *policy {
 	case "backpressure":
 		cfg.Policy = stream.Backpressure
@@ -81,9 +90,10 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 		if err != nil {
 			return fmt.Errorf("stats listen: %w", err)
 		}
-		stats = &http.Server{Handler: statsHandler(eng)}
+		stats = &http.Server{Handler: statsHandler(eng, metrics, *withPprof)}
 		go func() { statsErr <- stats.Serve(ln) }()
 		fmt.Fprintf(stdout, "stats on http://%s/debug/vars\n", ln.Addr())
+		fmt.Fprintf(stdout, "metrics on http://%s/metrics\n", ln.Addr())
 	}
 
 	select {
@@ -100,9 +110,11 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 	return nil
 }
 
-// statsHandler serves the engine's stats surface as expvar-style JSON:
-// one top-level map with a "gpdserver" variable holding the snapshot.
-func statsHandler(eng *stream.Engine) http.Handler {
+// statsHandler serves the engine's stats surface: expvar-style JSON at
+// /debug/vars (one top-level map with a "gpdserver" variable holding the
+// snapshot), Prometheus text exposition at /metrics, and optionally the
+// net/http/pprof endpoints under /debug/pprof/.
+func statsHandler(eng *stream.Engine, metrics *obs.Registry, withPprof bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -110,8 +122,19 @@ func statsHandler(eng *stream.Engine) http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(map[string]any{"gpdserver": eng.Snapshot()})
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		metrics.WritePrometheus(w, "gpd")
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }

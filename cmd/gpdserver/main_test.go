@@ -99,4 +99,100 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-addr", "256.0.0.1:bad"}, io.Discard, nil); err == nil {
 		t.Fatal("want error for unusable address")
 	}
+	if err := run([]string{"-pprof"}, io.Discard, nil); err == nil {
+		t.Fatal("want error for -pprof without -stats")
+	}
+}
+
+// TestMetricsEndpoint boots the server with -pprof, drives one session,
+// and checks that the Prometheus exposition moves and pprof answers.
+func TestMetricsEndpoint(t *testing.T) {
+	pr, pw := io.Pipe()
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		err := run([]string{"-addr", "127.0.0.1:0", "-stats", "127.0.0.1:0", "-pprof"}, pw, stop)
+		pw.CloseWithError(err)
+		done <- err
+	}()
+
+	sc := bufio.NewScanner(pr)
+	var addr, metricsURL string
+	for addr == "" || metricsURL == "" {
+		if !sc.Scan() {
+			break
+		}
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "gpdserver listening on "); ok {
+			addr = strings.Fields(rest)[0]
+		}
+		if rest, ok := strings.CutPrefix(line, "metrics on "); ok {
+			metricsURL = rest
+		}
+	}
+	if addr == "" || metricsURL == "" {
+		t.Fatalf("startup lines not seen (addr=%q metrics=%q)", addr, metricsURL)
+	}
+	go io.Copy(io.Discard, pr)
+
+	cl, err := stream.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Open("m", stream.Spec{Kind: stream.Conjunctive, Procs: 2, Retain: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Append("m", []stream.Event{
+		{Proc: 0, VC: []int64{1, 0}, Truth: true},
+		{Proc: 1, VC: []int64{0, 1}, Truth: true},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.CloseSession("m"); err != nil {
+		t.Fatal(err)
+	}
+
+	body := httpGet(t, metricsURL)
+	for _, want := range []string{
+		"# TYPE gpd_stream_events_total counter",
+		"# TYPE gpd_stream_frames_total counter",
+		"# TYPE gpd_stream_detections_total counter",
+		"# TYPE gpd_stream_delivery_lag_events histogram",
+		"gpd_stream_finalize_millis_count 1",
+		`gpd_stream_finalize_work_total{counter="stream.rebuilt_events"} 4`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+	base := strings.TrimSuffix(metricsURL, "/metrics")
+	if !strings.Contains(httpGet(t, base+"/debug/pprof/cmdline"), "gpdserver") &&
+		!strings.Contains(httpGet(t, base+"/debug/pprof/cmdline"), "test") {
+		t.Error("pprof cmdline endpoint not serving")
+	}
+
+	stop <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not shut down on signal")
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
 }

@@ -19,6 +19,38 @@
 // "two processes in the critical section". Definitely(phi) asks whether
 // EVERY execution consistent with the observation passes through phi.
 //
+// # The front door
+//
+// Detect is the single entry point for offline detection: parse (or
+// build) a Spec, pick a Modality, and let dispatch choose the detector:
+//
+//	spec, err := gpd.ParseSpec("sum(tokens) == 2")
+//	if err != nil { ... }
+//	rep, err := gpd.Detect(c, spec, gpd.WithModality(gpd.ModalityPossibly))
+//	if err != nil { ... }
+//	fmt.Println(rep.Holds, rep.Witness)
+//	fmt.Print(rep.Work) // per-phase work counters and timed spans
+//
+// The same Spec type and grammar back the gpddetect command line and the
+// streaming wire protocol, so a predicate accepted by one surface is
+// accepted by all of them.
+//
+// # Migration note
+//
+// The per-family entry points that predate Detect — PossiblyConjunctive,
+// DefinitelyConjunctive, PossiblySingular, DefinitelySingular,
+// PossiblySum, PossiblySumWitness, DefinitelySum, PossiblyWeighted,
+// DefinitelyWeighted, PossiblyInFlight, PossiblySymmetric,
+// DefinitelySymmetric and friends — remain supported as thin wrappers
+// over the same internal detectors and are not going away. New code
+// should prefer Detect: it validates the spec against the computation,
+// rejects option combinations the legacy surfaces used to ignore
+// silently, and returns a Report carrying the work accounting (Work) of
+// the run. Reach for the legacy functions when the predicate does not fit
+// the Spec grammar: arbitrary LocalPredicate maps, custom EventWeight
+// functions, SymmetricSpec builders, or programmatic SingularPredicate
+// values.
+//
 // # What this library provides
 //
 //   - Building and (de)serializing computations: New, ReadTrace, WriteTrace.

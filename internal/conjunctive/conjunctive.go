@@ -19,6 +19,7 @@ package conjunctive
 
 import (
 	"github.com/distributed-predicates/gpd/internal/computation"
+	"github.com/distributed-predicates/gpd/internal/obs"
 	"github.com/distributed-predicates/gpd/internal/vclock"
 )
 
@@ -46,12 +47,20 @@ type Result struct {
 // the map are unconstrained. An empty map yields Found with the initial
 // cut.
 func Detect(c *computation.Computation, locals map[computation.ProcID]LocalPredicate) Result {
+	return DetectTraced(c, locals, nil)
+}
+
+// DetectTraced is Detect with work counters accumulated into the trace:
+// candidate (true) events enumerated and tokens advanced (candidate
+// eliminations, the unit of CPDHB progress).
+func DetectTraced(c *computation.Computation, locals map[computation.ProcID]LocalPredicate, tr *obs.Trace) Result {
 	procs := make([]computation.ProcID, 0, len(locals))
 	for p := range locals {
 		procs = append(procs, p)
 	}
 	// Candidate queues: the true events of each involved process.
 	queues := make([][]computation.EventID, len(procs))
+	total := int64(0)
 	for i, p := range procs {
 		pred := locals[p]
 		for _, id := range c.ProcEvents(p) {
@@ -59,12 +68,16 @@ func Detect(c *computation.Computation, locals map[computation.ProcID]LocalPredi
 				queues[i] = append(queues[i], id)
 			}
 		}
+		total += int64(len(queues[i]))
 		if len(queues[i]) == 0 {
+			tr.Add("conjunctive.candidate_events", total)
 			return Result{}
 		}
 	}
+	tr.Add("conjunctive.candidate_events", total)
 	cur := make([]int, len(procs))
 	res := eliminate(c, procs, queues, cur)
+	tr.Add("conjunctive.tokens_advanced", int64(res.Eliminated))
 	if !res.Found {
 		return res
 	}

@@ -2,6 +2,7 @@ package conjunctive
 
 import (
 	"github.com/distributed-predicates/gpd/internal/computation"
+	"github.com/distributed-predicates/gpd/internal/obs"
 )
 
 // Definitely detection for conjunctive predicates, following Garg &
@@ -59,13 +60,26 @@ func trueIntervals(c *computation.Computation, p computation.ProcID, pred LocalP
 // through a global state satisfying the conjunction of the local
 // predicates. An empty map is trivially definite.
 func DetectDefinitely(c *computation.Computation, locals map[computation.ProcID]LocalPredicate) bool {
+	return DetectDefinitelyTraced(c, locals, nil)
+}
+
+// DetectDefinitelyTraced is DetectDefinitely with work counters accumulated
+// into the trace: true intervals extracted and intervals eliminated during
+// the selection search.
+func DetectDefinitelyTraced(c *computation.Computation, locals map[computation.ProcID]LocalPredicate, tr *obs.Trace) bool {
 	procs := make([]computation.ProcID, 0, len(locals))
 	for p := range locals {
 		procs = append(procs, p)
 	}
+	var totalIntervals, eliminated int64
+	defer func() {
+		tr.Add("conjunctive.true_intervals", totalIntervals)
+		tr.Add("conjunctive.intervals_eliminated", eliminated)
+	}()
 	queues := make([][]interval, len(procs))
 	for i, p := range procs {
 		queues[i] = trueIntervals(c, p, locals[p])
+		totalIntervals += int64(len(queues[i]))
 		if len(queues[i]) == 0 {
 			return false
 		}
@@ -102,6 +116,7 @@ func DetectDefinitely(c *computation.Computation, locals map[computation.ProcID]
 			// later, so a violation dooms j's current interval.
 			if !holds(i, j) {
 				cur[j]++
+				eliminated++
 				if cur[j] >= len(queues[j]) {
 					return false
 				}
@@ -116,6 +131,7 @@ func DetectDefinitely(c *computation.Computation, locals map[computation.ProcID]
 			// Symmetric constraint lo_j -> end_i.
 			if !holds(j, i) {
 				cur[i]++
+				eliminated++
 				if cur[i] >= len(queues[i]) {
 					return false
 				}

@@ -5,6 +5,7 @@ import (
 
 	"github.com/distributed-predicates/gpd/internal/computation"
 	"github.com/distributed-predicates/gpd/internal/lattice"
+	"github.com/distributed-predicates/gpd/internal/obs"
 )
 
 // Definitely decides Definitely(S relop k): does every run of the
@@ -20,18 +21,24 @@ import (
 // polynomial algorithms for the <=/>= primitives to prior work and this
 // package keeps their role explicit instead.
 func Definitely(c *computation.Computation, name string, r Relop, k int64) (bool, error) {
+	return DefinitelyTraced(c, name, r, k, nil)
+}
+
+// DefinitelyTraced is Definitely with region-reachability work counters
+// accumulated into the trace.
+func DefinitelyTraced(c *computation.Computation, name string, r Relop, k int64, tr *obs.Trace) (bool, error) {
 	switch r {
 	case Lt:
-		return definitelyLe(c, name, k-1), nil
+		return definitelyLe(c, name, k-1, tr), nil
 	case Le:
-		return definitelyLe(c, name, k), nil
+		return definitelyLe(c, name, k, tr), nil
 	case Ge:
-		return definitelyGe(c, name, k), nil
+		return definitelyGe(c, name, k, tr), nil
 	case Gt:
-		return definitelyGe(c, name, k+1), nil
+		return definitelyGe(c, name, k+1, tr), nil
 	case Ne:
 		// A run avoids S != k iff it stays on the S == k plateau.
-		return !avoidable(c, region(name, Ne, k)), nil
+		return !avoidable(c, region(name, Ne, k), tr), nil
 	case Eq:
 		if err := ValidateUnitStep(c, name); err != nil {
 			return false, err
@@ -39,7 +46,7 @@ func Definitely(c *computation.Computation, name string, r Relop, k int64) (bool
 		// Theorem 7(2): with unit steps a run hits S == k exactly
 		// when it dips to <= k and rises to >= k (intermediate value
 		// along the run).
-		return definitelyLe(c, name, k) && definitelyGe(c, name, k), nil
+		return definitelyLe(c, name, k, tr) && definitelyGe(c, name, k, tr), nil
 	default:
 		return false, fmt.Errorf("relsum: unknown relational operator %v", r)
 	}
@@ -47,20 +54,20 @@ func Definitely(c *computation.Computation, name string, r Relop, k int64) (bool
 
 // definitelyLe reports whether every run passes through a cut with S <= k:
 // equivalently, no run stays entirely inside the region S > k.
-func definitelyLe(c *computation.Computation, name string, k int64) bool {
-	return !avoidable(c, region(name, Le, k))
+func definitelyLe(c *computation.Computation, name string, k int64, tr *obs.Trace) bool {
+	return !avoidable(c, region(name, Le, k), tr)
 }
 
 // definitelyGe reports whether every run passes through a cut with S >= k.
-func definitelyGe(c *computation.Computation, name string, k int64) bool {
-	return !avoidable(c, region(name, Ge, k))
+func definitelyGe(c *computation.Computation, name string, k int64, tr *obs.Trace) bool {
+	return !avoidable(c, region(name, Ge, k), tr)
 }
 
 // avoidable reports whether some run avoids the predicate entirely, i.e.
 // the lattice has a bottom-to-top path through the complement.
-func avoidable(c *computation.Computation, pred lattice.Predicate) bool {
+func avoidable(c *computation.Computation, pred lattice.Predicate, tr *obs.Trace) bool {
 	not := func(cc *computation.Computation, cut computation.Cut) bool { return !pred(cc, cut) }
-	return lattice.PathExists(c, c.InitialCut(), c.FinalCut(), not)
+	return lattice.PathExistsTraced(c, c.InitialCut(), c.FinalCut(), not, tr)
 }
 
 // DefinitelyWeighted decides Definitely(quantity relop k) for an
@@ -68,6 +75,12 @@ func avoidable(c *computation.Computation, pred lattice.Predicate) bool {
 // satisfying it? Decided by region reachability (worst-case exponential);
 // equality requires unit weights and uses the Theorem 7(2) decomposition.
 func DefinitelyWeighted(c *computation.Computation, base int64, w Weight, r Relop, k int64) (bool, error) {
+	return DefinitelyWeightedTraced(c, base, w, r, k, nil)
+}
+
+// DefinitelyWeightedTraced is DefinitelyWeighted with region-reachability
+// work counters accumulated into the trace.
+func DefinitelyWeightedTraced(c *computation.Computation, base int64, w Weight, r Relop, k int64, tr *obs.Trace) (bool, error) {
 	at := func(cc *computation.Computation, cut computation.Cut) int64 {
 		return WeightedAt(cc, base, w, cut)
 	}
@@ -78,12 +91,12 @@ func DefinitelyWeighted(c *computation.Computation, base int64, w Weight, r Relo
 	}
 	switch r {
 	case Lt, Le, Ge, Gt, Ne:
-		return !avoidable(c, reg(r, k)), nil
+		return !avoidable(c, reg(r, k), tr), nil
 	case Eq:
 		if err := validateUnitWeight(c, w); err != nil {
 			return false, err
 		}
-		return !avoidable(c, reg(Le, k)) && !avoidable(c, reg(Ge, k)), nil
+		return !avoidable(c, reg(Le, k), tr) && !avoidable(c, reg(Ge, k), tr), nil
 	default:
 		return false, fmt.Errorf("relsum: unknown relational operator %v", r)
 	}

@@ -1,6 +1,9 @@
 package relsum
 
-import "github.com/distributed-predicates/gpd/internal/maxflow"
+import (
+	"github.com/distributed-predicates/gpd/internal/maxflow"
+	"github.com/distributed-predicates/gpd/internal/obs"
+)
 
 // Incremental (online) tracking of the sum range. A RangeTracker consumes
 // the events of a computation one at a time, in any order consistent with
@@ -43,9 +46,14 @@ type RangeTracker struct {
 	weights []int64       // slot -> per-event change of S
 	reqs    [][]int       // slot -> required slots (direct predecessors)
 
-	dirty   bool // events observed since the last Flush
-	flushes int  // closure recomputations, for stats
+	dirty   bool       // events observed since the last Flush
+	flushes int        // closure recomputations, for stats
+	tr      *obs.Trace // optional work accounting (nil: free)
 }
+
+// SetTrace routes the tracker's closure work counters (augmenting paths,
+// closure sizes) into the given trace. A nil trace disables accounting.
+func (t *RangeTracker) SetTrace(tr *obs.Trace) { t.tr = tr }
 
 // NewRangeTracker starts a tracker with the given baseline — the value of
 // S at the initial cut (the sum of the per-process initial values).
@@ -101,7 +109,7 @@ func (t *RangeTracker) Flush() (min, max int64) {
 			requires = append(requires, [2]int{v, u})
 		}
 	}
-	best, _ := maxflow.MaxClosure(t.weights, requires)
+	best, _ := maxflow.MaxClosureTraced(t.weights, requires, t.tr)
 	if hi := t.baseline + best; hi > t.max {
 		t.max = hi
 	}
@@ -109,7 +117,7 @@ func (t *RangeTracker) Flush() (min, max int64) {
 	for i, w := range t.weights {
 		neg[i] = -w
 	}
-	worst, _ := maxflow.MaxClosure(neg, requires)
+	worst, _ := maxflow.MaxClosureTraced(neg, requires, t.tr)
 	if lo := t.baseline - worst; lo < t.min {
 		t.min = lo
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/distributed-predicates/gpd/internal/computation"
+	"github.com/distributed-predicates/gpd/internal/obs"
 )
 
 // Possibly decides Possibly(S relop k) for the named variable sum.
@@ -16,7 +17,13 @@ import (
 // For != the answer is "some consistent cut has S != k", which also falls
 // out of the extrema.
 func Possibly(c *computation.Computation, name string, r Relop, k int64) (bool, error) {
-	min, max := SumRange(c, name)
+	return PossiblyTraced(c, name, r, k, nil)
+}
+
+// PossiblyTraced is Possibly with closure work counters accumulated into
+// the trace.
+func PossiblyTraced(c *computation.Computation, name string, r Relop, k int64, tr *obs.Trace) (bool, error) {
+	min, max := SumRangeTraced(c, name, tr)
 	switch r {
 	case Lt:
 		return min < k, nil
@@ -45,10 +52,16 @@ func Possibly(c *computation.Computation, name string, r Relop, k int64) (bool, 
 // and on to the final cut; along a path S changes by at most one per step,
 // so every value between the path's extremes is hit.
 func PossiblyEqWitness(c *computation.Computation, name string, k int64) (bool, computation.Cut, error) {
+	return PossiblyEqWitnessTraced(c, name, k, nil)
+}
+
+// PossiblyEqWitnessTraced is PossiblyEqWitness with closure work counters
+// accumulated into the trace.
+func PossiblyEqWitnessTraced(c *computation.Computation, name string, k int64, tr *obs.Trace) (bool, computation.Cut, error) {
 	if err := ValidateUnitStep(c, name); err != nil {
 		return false, nil, err
 	}
-	min, max, argmin, argmax := sumRangeWitness(c, name)
+	min, max, argmin, argmax := sumRangeWitness(c, name, tr)
 	if k < min || k > max {
 		return false, nil, nil
 	}

@@ -26,6 +26,7 @@ import (
 	"github.com/distributed-predicates/gpd/internal/computation"
 	"github.com/distributed-predicates/gpd/internal/lattice"
 	"github.com/distributed-predicates/gpd/internal/maxflow"
+	"github.com/distributed-predicates/gpd/internal/obs"
 )
 
 // ErrNotUnitStep indicates a variable that changes by more than one at
@@ -161,6 +162,12 @@ func ValidateUnitStep(c *computation.Computation, name string) error {
 // variable over all consistent cuts, in polynomial time via two max-weight
 // closure computations on the event DAG. It does not require unit steps.
 func SumRange(c *computation.Computation, name string) (min, max int64) {
+	return SumRangeTraced(c, name, nil)
+}
+
+// SumRangeTraced is SumRange with closure work counters (augmenting paths,
+// closure sizes) accumulated into the trace.
+func SumRangeTraced(c *computation.Computation, name string, tr *obs.Trace) (min, max int64) {
 	n := c.NumEvents()
 	weights := make([]int64, n)
 	var baseline int64
@@ -186,19 +193,19 @@ func SumRange(c *computation.Computation, name string) (min, max int64) {
 		}
 		return true
 	})
-	best, _ := maxflow.MaxClosure(weights, requires)
+	best, _ := maxflow.MaxClosureTraced(weights, requires, tr)
 	max = baseline + best
 	neg := make([]int64, n)
 	for i, w := range weights {
 		neg[i] = -w
 	}
-	worst, _ := maxflow.MaxClosure(neg, requires)
+	worst, _ := maxflow.MaxClosureTraced(neg, requires, tr)
 	min = baseline - worst
 	return min, max
 }
 
 // sumRangeWitness is SumRange but also returns cuts achieving the extremes.
-func sumRangeWitness(c *computation.Computation, name string) (min, max int64, argmin, argmax computation.Cut) {
+func sumRangeWitness(c *computation.Computation, name string, tr *obs.Trace) (min, max int64, argmin, argmax computation.Cut) {
 	n := c.NumEvents()
 	weights := make([]int64, n)
 	var baseline int64
@@ -222,14 +229,14 @@ func sumRangeWitness(c *computation.Computation, name string) (min, max int64, a
 		}
 		return true
 	})
-	best, maskMax := maxflow.MaxClosure(weights, requires)
+	best, maskMax := maxflow.MaxClosureTraced(weights, requires, tr)
 	max = baseline + best
 	argmax = maskToCut(c, maskMax)
 	neg := make([]int64, n)
 	for i, w := range weights {
 		neg[i] = -w
 	}
-	worst, maskMin := maxflow.MaxClosure(neg, requires)
+	worst, maskMin := maxflow.MaxClosureTraced(neg, requires, tr)
 	min = baseline - worst
 	argmin = maskToCut(c, maskMin)
 	return min, max, argmin, argmax

@@ -119,7 +119,7 @@ func TestSumRangeIsTight(t *testing.T) {
 	rng := rand.New(rand.NewSource(269))
 	for trial := 0; trial < 80; trial++ {
 		c := unitStepComputation(rng, 2+rng.Intn(3), 5, 8)
-		min, max, argmin, argmax := sumRangeWitness(c, varName)
+		min, max, argmin, argmax := sumRangeWitness(c, varName, nil)
 		if !c.CutConsistent(argmin) || !c.CutConsistent(argmax) {
 			t.Fatalf("trial %d: extreme cuts not consistent", trial)
 		}

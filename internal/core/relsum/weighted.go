@@ -5,6 +5,7 @@ import (
 
 	"github.com/distributed-predicates/gpd/internal/computation"
 	"github.com/distributed-predicates/gpd/internal/maxflow"
+	"github.com/distributed-predicates/gpd/internal/obs"
 )
 
 // Weight assigns to each non-initial event the change it causes to some
@@ -20,11 +21,17 @@ type Weight func(computation.Event) int64
 // of base + sum of event weights, in polynomial time (two max-weight
 // closure computations).
 func WeightedRange(c *computation.Computation, base int64, w Weight) (min, max int64) {
-	min, max, _, _ = weightedRangeWitness(c, base, w)
+	return WeightedRangeTraced(c, base, w, nil)
+}
+
+// WeightedRangeTraced is WeightedRange with closure work counters
+// accumulated into the trace.
+func WeightedRangeTraced(c *computation.Computation, base int64, w Weight, tr *obs.Trace) (min, max int64) {
+	min, max, _, _ = weightedRangeWitness(c, base, w, tr)
 	return min, max
 }
 
-func weightedRangeWitness(c *computation.Computation, base int64, w Weight) (min, max int64, argmin, argmax computation.Cut) {
+func weightedRangeWitness(c *computation.Computation, base int64, w Weight, tr *obs.Trace) (min, max int64, argmin, argmax computation.Cut) {
 	n := c.NumEvents()
 	weights := make([]int64, n)
 	c.Events(func(e computation.Event) bool {
@@ -45,14 +52,14 @@ func weightedRangeWitness(c *computation.Computation, base int64, w Weight) (min
 		}
 		return true
 	})
-	best, maskMax := maxflow.MaxClosure(weights, requires)
+	best, maskMax := maxflow.MaxClosureTraced(weights, requires, tr)
 	max = base + best
 	argmax = maskToCut(c, maskMax)
 	neg := make([]int64, n)
 	for i, x := range weights {
 		neg[i] = -x
 	}
-	worst, maskMin := maxflow.MaxClosure(neg, requires)
+	worst, maskMin := maxflow.MaxClosureTraced(neg, requires, tr)
 	min = base - worst
 	argmin = maskToCut(c, maskMin)
 	return min, max, argmin, argmax
@@ -74,7 +81,13 @@ func WeightedAt(c *computation.Computation, base int64, w Weight, k computation.
 // and its witness require unit weights (|w(e)| <= 1), mirroring the
 // paper's Theorem 7/Theorem 3 split.
 func PossiblyWeighted(c *computation.Computation, base int64, w Weight, r Relop, k int64) (bool, error) {
-	min, max := WeightedRange(c, base, w)
+	return PossiblyWeightedTraced(c, base, w, r, k, nil)
+}
+
+// PossiblyWeightedTraced is PossiblyWeighted with closure work counters
+// accumulated into the trace.
+func PossiblyWeightedTraced(c *computation.Computation, base int64, w Weight, r Relop, k int64, tr *obs.Trace) (bool, error) {
+	min, max := WeightedRangeTraced(c, base, w, tr)
 	switch r {
 	case Lt:
 		return min < k, nil
@@ -135,7 +148,13 @@ func InFlightWeight(c *computation.Computation) Weight {
 // bound the system actually needs, and min == 0 at reachable quiescent
 // states.
 func InFlightRange(c *computation.Computation) (min, max int64) {
-	return WeightedRange(c, 0, InFlightWeight(c))
+	return InFlightRangeTraced(c, nil)
+}
+
+// InFlightRangeTraced is InFlightRange with closure work counters
+// accumulated into the trace.
+func InFlightRangeTraced(c *computation.Computation, tr *obs.Trace) (min, max int64) {
+	return WeightedRangeTraced(c, 0, InFlightWeight(c), tr)
 }
 
 // PossiblyQuiescent reports whether some consistent cut other than the
@@ -146,11 +165,17 @@ func InFlightRange(c *computation.Computation) (min, max int64) {
 // constructive side for channel quantities. Requires every event to send
 // or receive at most one message in total, the unit-weight condition.)
 func PossiblyQuiescent(c *computation.Computation, k int64) (bool, computation.Cut, error) {
+	return PossiblyQuiescentTraced(c, k, nil)
+}
+
+// PossiblyQuiescentTraced is PossiblyQuiescent with closure work counters
+// accumulated into the trace.
+func PossiblyQuiescentTraced(c *computation.Computation, k int64, tr *obs.Trace) (bool, computation.Cut, error) {
 	w := InFlightWeight(c)
 	if err := validateUnitWeight(c, w); err != nil {
 		return false, nil, err
 	}
-	min, max, argmin, argmax := weightedRangeWitness(c, 0, w)
+	min, max, argmin, argmax := weightedRangeWitness(c, 0, w, tr)
 	if k < min || k > max {
 		return false, nil, nil
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/distributed-predicates/gpd/internal/computation"
+	"github.com/distributed-predicates/gpd/internal/obs"
 )
 
 // Strategy selects the detection algorithm.
@@ -65,11 +66,34 @@ type Result struct {
 	Combinations int
 	// Eliminations counts candidate eliminations across all runs.
 	Eliminations int
+	// Candidates counts the true events enumerated across all clauses
+	// (the total queue length the elimination starts from).
+	Candidates int
 }
 
 // Detect decides Possibly(p) on the sealed computation using the given
 // strategy. truth supplies the per-process boolean variables.
 func Detect(c *computation.Computation, p *Predicate, truth Truth, strategy Strategy) (Result, error) {
+	return DetectTraced(c, p, truth, strategy, nil)
+}
+
+// DetectTraced is Detect with work counters accumulated into the trace:
+// candidate (true) events enumerated, CPDHB sub-runs (queue combinations)
+// tried, candidates eliminated, plus a note naming the strategy that
+// produced the answer (which, under Auto, the caller cannot otherwise
+// predict).
+func DetectTraced(c *computation.Computation, p *Predicate, truth Truth, strategy Strategy, tr *obs.Trace) (Result, error) {
+	res, err := detect(c, p, truth, strategy)
+	if err == nil && tr != nil {
+		tr.Note("singular.strategy", res.Strategy.String())
+		tr.Add("singular.candidate_events", int64(res.Candidates))
+		tr.Add("singular.cpdhb_runs", int64(res.Combinations))
+		tr.Add("singular.eliminations", int64(res.Eliminations))
+	}
+	return res, err
+}
+
+func detect(c *computation.Computation, p *Predicate, truth Truth, strategy Strategy) (Result, error) {
 	if err := p.Validate(c); err != nil {
 		return Result{}, err
 	}
@@ -77,31 +101,41 @@ func Detect(c *computation.Computation, p *Predicate, truth Truth, strategy Stra
 		return Result{Found: true, Cut: c.InitialCut(), Strategy: strategy, Combinations: 1}, nil
 	}
 	cands := p.trueEvents(c, truth)
+	total := 0
+	for _, t := range cands {
+		total += len(t)
+	}
 	for _, t := range cands {
 		if len(t) == 0 {
-			return Result{Strategy: strategy}, nil
+			return Result{Strategy: strategy, Candidates: total}, nil
 		}
 	}
-	switch strategy {
-	case ReceiveOrdered:
-		return detectOrdered(c, p, cands, false)
-	case SendOrdered:
-		return detectOrdered(c, p, cands, true)
-	case ProcessSubsets:
-		return detectSubsets(c, p, cands)
-	case ChainCover:
-		return detectChains(c, cands)
-	case Auto:
-		if res, err := detectOrdered(c, p, cands, false); err == nil {
-			return res, nil
+	res, err := func() (Result, error) {
+		switch strategy {
+		case ReceiveOrdered:
+			return detectOrdered(c, p, cands, false)
+		case SendOrdered:
+			return detectOrdered(c, p, cands, true)
+		case ProcessSubsets:
+			return detectSubsets(c, p, cands)
+		case ChainCover:
+			return detectChains(c, cands)
+		case Auto:
+			if res, err := detectOrdered(c, p, cands, false); err == nil {
+				return res, nil
+			}
+			if res, err := detectOrdered(c, p, cands, true); err == nil {
+				return res, nil
+			}
+			return detectChains(c, cands)
+		default:
+			return Result{}, fmt.Errorf("singular: unknown strategy %d", int(strategy))
 		}
-		if res, err := detectOrdered(c, p, cands, true); err == nil {
-			return res, nil
-		}
-		return detectChains(c, cands)
-	default:
-		return Result{}, fmt.Errorf("singular: unknown strategy %d", int(strategy))
+	}()
+	if err == nil {
+		res.Candidates = total
 	}
+	return res, err
 }
 
 // eliminateQueues runs the CPDHB elimination over candidate queues, one per

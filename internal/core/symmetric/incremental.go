@@ -2,6 +2,7 @@ package symmetric
 
 import (
 	"github.com/distributed-predicates/gpd/internal/core/relsum"
+	"github.com/distributed-predicates/gpd/internal/obs"
 )
 
 // Tracker is the online counterpart of Possibly: it consumes boolean
@@ -34,6 +35,10 @@ func NewTracker(spec Spec, initTruth []bool) *Tracker {
 	t.check()
 	return t
 }
+
+// SetTrace routes the underlying range tracker's closure work counters
+// into the given trace. A nil trace disables accounting.
+func (t *Tracker) SetTrace(tr *obs.Trace) { t.sum.SetTrace(tr) }
 
 // Observe adds one event: id and requires as for relsum.RangeTracker,
 // delta the change of the process's boolean variable (-1, 0 or +1).

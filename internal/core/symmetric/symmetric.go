@@ -20,6 +20,7 @@ import (
 	"github.com/distributed-predicates/gpd/internal/computation"
 	"github.com/distributed-predicates/gpd/internal/core/relsum"
 	"github.com/distributed-predicates/gpd/internal/lattice"
+	"github.com/distributed-predicates/gpd/internal/obs"
 )
 
 // Truth supplies the boolean variable of the event's process at the state
@@ -105,16 +106,25 @@ func withCount(c *computation.Computation, truth Truth) *computation.Computation
 // predicate, returning a witness cut when one exists. Runs in polynomial
 // time: one SumRange plus at most one witness walk.
 func Possibly(c *computation.Computation, spec Spec, truth Truth) (bool, computation.Cut, error) {
+	return PossiblyTraced(c, spec, truth, nil)
+}
+
+// PossiblyTraced is Possibly with work counters (levels probed, closure
+// work) accumulated into the trace.
+func PossiblyTraced(c *computation.Computation, spec Spec, truth Truth, tr *obs.Trace) (bool, computation.Cut, error) {
 	cc := withCount(c, truth)
-	min, max := relsum.SumRange(cc, countVar)
+	min, max := relsum.SumRangeTraced(cc, countVar, tr)
+	var probed int64
+	defer func() { tr.Add("symmetric.levels_probed", probed) }()
 	for _, m := range spec.Levels {
 		if m < 0 || m > spec.N {
 			continue
 		}
+		probed++
 		if int64(m) < min || int64(m) > max {
 			continue
 		}
-		ok, cut, err := relsum.PossiblyEqWitness(cc, countVar, int64(m))
+		ok, cut, err := relsum.PossiblyEqWitnessTraced(cc, countVar, int64(m), tr)
 		if err != nil {
 			return false, nil, err
 		}
@@ -131,6 +141,12 @@ func Possibly(c *computation.Computation, spec Spec, truth Truth) (bool, computa
 // this falls back to region reachability in the cut lattice (worst-case
 // exponential); the paper's polynomial corollary covers Possibly only.
 func Definitely(c *computation.Computation, spec Spec, truth Truth) (bool, error) {
+	return DefinitelyTraced(c, spec, truth, nil)
+}
+
+// DefinitelyTraced is Definitely with region-reachability work counters
+// accumulated into the trace.
+func DefinitelyTraced(c *computation.Computation, spec Spec, truth Truth, tr *obs.Trace) (bool, error) {
 	levels := make(map[int]bool, len(spec.Levels))
 	for _, m := range spec.Levels {
 		levels[m] = true
@@ -139,7 +155,7 @@ func Definitely(c *computation.Computation, spec Spec, truth Truth) (bool, error
 		return levels[cc.CountTrue(k, func(e computation.Event) bool { return truth(e) })]
 	}
 	not := func(cc *computation.Computation, k computation.Cut) bool { return !holds(cc, k) }
-	avoidable := lattice.PathExists(c, c.InitialCut(), c.FinalCut(), not)
+	avoidable := lattice.PathExistsTraced(c, c.InitialCut(), c.FinalCut(), not, tr)
 	return !avoidable, nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"github.com/distributed-predicates/gpd/internal/computation"
+	"github.com/distributed-predicates/gpd/internal/obs"
 )
 
 // Predicate is a global predicate evaluated on a consistent cut.
@@ -22,11 +23,31 @@ type Predicate func(*computation.Computation, computation.Cut) bool
 // breadth-first (level) order starting from the initial cut. It stops early
 // when visit returns false. The computation must be sealed.
 func Explore(c *computation.Computation, visit func(computation.Cut) bool) {
+	ExploreTraced(c, visit, nil)
+}
+
+// ExploreTraced is Explore, accumulating work counters into the trace:
+// cuts enumerated, levels swept and the widest frontier (level width) —
+// the quantities that make the exponential blowup of exhaustive detection
+// visible. Counters are added once per run, so a nil trace costs nothing
+// and a live one costs three map updates.
+func ExploreTraced(c *computation.Computation, visit func(computation.Cut) bool, tr *obs.Trace) {
+	var cuts, levels, width int64
+	defer func() {
+		tr.Add("lattice.cuts_explored", cuts)
+		tr.Add("lattice.levels_swept", levels)
+		tr.Max("lattice.max_frontier_width", width)
+	}()
 	level := []computation.Cut{c.InitialCut()}
 	seen := map[string]bool{c.InitialCut().Key(): true}
 	for len(level) > 0 {
+		levels++
+		if int64(len(level)) > width {
+			width = int64(len(level))
+		}
 		var next []computation.Cut
 		for _, k := range level {
+			cuts++
 			if !visit(k) {
 				return
 			}
@@ -57,16 +78,21 @@ func Count(c *computation.Computation) int64 {
 // returns a witness cut when one exists. This is the exhaustive detector for
 // Possibly(phi) under the weak modality.
 func Possibly(c *computation.Computation, pred Predicate) (bool, computation.Cut) {
+	return PossiblyTraced(c, pred, nil)
+}
+
+// PossiblyTraced is Possibly with work counters accumulated into the trace.
+func PossiblyTraced(c *computation.Computation, pred Predicate, tr *obs.Trace) (bool, computation.Cut) {
 	var witness computation.Cut
 	found := false
-	Explore(c, func(k computation.Cut) bool {
+	ExploreTraced(c, func(k computation.Cut) bool {
 		if pred(c, k) {
 			witness = k.Clone()
 			found = true
 			return false
 		}
 		return true
-	})
+	}, tr)
 	return found, witness
 }
 
@@ -77,13 +103,30 @@ func Possibly(c *computation.Computation, pred Predicate) (bool, computation.Cut
 // predicate; the predicate definitely holds iff that set becomes empty
 // before the final cut is reached.
 func Definitely(c *computation.Computation, pred Predicate) bool {
+	return DefinitelyTraced(c, pred, nil)
+}
+
+// DefinitelyTraced is Definitely with work counters accumulated into the
+// trace: cuts swept, levels and the widest surviving frontier.
+func DefinitelyTraced(c *computation.Computation, pred Predicate, tr *obs.Trace) bool {
+	var cuts, levels, width int64
+	defer func() {
+		tr.Add("lattice.cuts_explored", cuts)
+		tr.Add("lattice.levels_swept", levels)
+		tr.Max("lattice.max_frontier_width", width)
+	}()
 	start := c.InitialCut()
+	cuts++
 	if pred(c, start) {
 		return true
 	}
 	level := []computation.Cut{start}
 	final := c.FinalCut()
 	for len(level) > 0 {
+		levels++
+		if int64(len(level)) > width {
+			width = int64(len(level))
+		}
 		seen := make(map[string]bool)
 		var next []computation.Cut
 		for _, k := range level {
@@ -93,6 +136,7 @@ func Definitely(c *computation.Computation, pred Predicate) bool {
 			}
 			for _, id := range c.Enabled(k) {
 				nk := c.Execute(k, c.Event(id).Proc)
+				cuts++
 				if pred(c, nk) {
 					continue // this path is intercepted
 				}
@@ -114,6 +158,16 @@ func Definitely(c *computation.Computation, pred Predicate) bool {
 // allowed admits every cut. This is the reachability primitive behind
 // Theorem 4 of the paper.
 func PathExists(c *computation.Computation, from, to computation.Cut, allowed Predicate) bool {
+	return PathExistsTraced(c, from, to, allowed, nil)
+}
+
+// PathExistsTraced is PathExists with the number of region cuts explored
+// accumulated into the trace.
+func PathExistsTraced(c *computation.Computation, from, to computation.Cut, allowed Predicate, tr *obs.Trace) bool {
+	var cuts int64
+	defer func() {
+		tr.Add("lattice.region_cuts_explored", cuts)
+	}()
 	if !from.Leq(to) {
 		return false
 	}
@@ -128,6 +182,7 @@ func PathExists(c *computation.Computation, from, to computation.Cut, allowed Pr
 	for len(queue) > 0 {
 		k := queue[0]
 		queue = queue[1:]
+		cuts++
 		for _, id := range c.Enabled(k) {
 			nk := c.Execute(k, c.Event(id).Proc)
 			if !nk.Leq(to) {

@@ -6,7 +6,11 @@
 // detectors (Chase & Garg's technique for relational predicates).
 package maxflow
 
-import "math"
+import (
+	"math"
+
+	"github.com/distributed-predicates/gpd/internal/obs"
+)
 
 // Graph is a flow network under construction. Nodes are dense ints; add
 // edges with AddEdge and call MaxFlow.
@@ -16,6 +20,9 @@ type Graph struct {
 	next []int // next arc in v's list
 	to   []int
 	cap  []int64
+
+	augPaths int64 // augmenting paths found by MaxFlow
+	phases   int64 // BFS level graphs built by MaxFlow
 }
 
 // NewGraph returns an empty flow network with n nodes.
@@ -55,16 +62,24 @@ func (g *Graph) MaxFlow(s, t int) int64 {
 	iter := make([]int, g.n)
 	queue := make([]int, 0, g.n)
 	for g.bfs(s, t, level, &queue) {
+		g.phases++
 		copy(iter, g.head)
 		for {
 			f := g.dfs(s, t, Infinity, level, iter)
 			if f == 0 {
 				break
 			}
+			g.augPaths++
 			total += f
 		}
 	}
 	return total
+}
+
+// FlowStats reports the work done by MaxFlow so far: augmenting paths
+// found and BFS phases (level graphs) built.
+func (g *Graph) FlowStats() (augmentingPaths, phases int64) {
+	return g.augPaths, g.phases
 }
 
 func (g *Graph) bfs(s, t int, level []int, queue *[]int) bool {
@@ -141,6 +156,13 @@ func (g *Graph) MinCutSide(s int) []bool {
 // weights exist; the returned value is the best closure weight (possibly 0
 // for the empty closure), and the mask marks chosen nodes.
 func MaxClosure(weights []int64, requires [][2]int) (int64, []bool) {
+	return MaxClosureTraced(weights, requires, nil)
+}
+
+// MaxClosureTraced is MaxClosure, additionally accumulating work counters
+// (augmenting paths, BFS phases, graph and closure sizes) into the trace.
+// A nil trace is free.
+func MaxClosureTraced(weights []int64, requires [][2]int, tr *obs.Trace) (int64, []bool) {
 	n := len(weights)
 	// Standard reduction: source -> v with cap w(v) for positive
 	// weights, v -> sink with cap -w(v) for negative weights, and an
@@ -165,5 +187,19 @@ func MaxClosure(weights []int64, requires [][2]int) (int64, []bool) {
 	side := g.MinCutSide(s)
 	mask := make([]bool, n)
 	copy(mask, side[:n])
+	if tr != nil {
+		var size int64
+		for _, in := range mask {
+			if in {
+				size++
+			}
+		}
+		tr.Add("maxflow.augmenting_paths", g.augPaths)
+		tr.Add("maxflow.bfs_phases", g.phases)
+		tr.Add("maxflow.closures", 1)
+		tr.Add("maxflow.closure_size", size)
+		tr.Add("maxflow.graph_nodes", int64(n))
+		tr.Add("maxflow.graph_arcs", int64(len(g.to)))
+	}
 	return totalPos - flow, mask
 }

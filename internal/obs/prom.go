@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Label renders a labeled metric name, e.g. Label("events_total",
+// "shard", "3") -> `events_total{shard="3"}`. Labeled variants of one base
+// name share a TYPE line in the Prometheus exposition.
+func Label(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// baseName strips a baked-in label set from a metric name.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// labelSet returns the baked-in label body ("k=\"v\",...") of a name, or "".
+func labelSet(name string) string {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return ""
+	}
+	return strings.TrimSuffix(name[i+1:], "}")
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4). Every metric name is prefixed with prefix plus
+// an underscore (pass "" for none). Counters map to counter series, gauges
+// to gauge series, and histograms to the conventional _bucket (cumulative,
+// with an +Inf bucket), _sum and _count series.
+func (r *Registry) WritePrometheus(w io.Writer, prefix string) error {
+	if prefix != "" && !strings.HasSuffix(prefix, "_") {
+		prefix += "_"
+	}
+	snap := r.Snapshot()
+
+	typed := make(map[string]string) // base name -> TYPE already written
+	var names []string
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := writeSeries(w, typed, prefix, name, "counter", snap.Counters[name]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range snap.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := writeSeries(w, typed, prefix, name, "gauge", snap.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range snap.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := writeHistogram(w, typed, prefix, name, snap.Histograms[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeType(w io.Writer, typed map[string]string, full, kind string) error {
+	if typed[full] == kind {
+		return nil
+	}
+	typed[full] = kind
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", full, kind)
+	return err
+}
+
+func writeSeries(w io.Writer, typed map[string]string, prefix, name, kind string, v int64) error {
+	full := prefix + baseName(name)
+	if err := writeType(w, typed, full, kind); err != nil {
+		return err
+	}
+	if ls := labelSet(name); ls != "" {
+		_, err := fmt.Fprintf(w, "%s{%s} %d\n", full, ls, v)
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", full, v)
+	return err
+}
+
+func writeHistogram(w io.Writer, typed map[string]string, prefix, name string, h HistogramSnapshot) error {
+	full := prefix + baseName(name)
+	if err := writeType(w, typed, full, "histogram"); err != nil {
+		return err
+	}
+	ls := labelSet(name)
+	join := func(le string) string {
+		if ls == "" {
+			return fmt.Sprintf(`le="%s"`, le)
+		}
+		return fmt.Sprintf(`%s,le="%s"`, ls, le)
+	}
+	var cum int64
+	for i, b := range h.Bounds {
+		cum += h.Buckets[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", full, join(fmt.Sprint(b)), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.Buckets[len(h.Buckets)-1]
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", full, join("+Inf"), cum); err != nil {
+		return err
+	}
+	sum, count := fmt.Sprintf("%s_sum", full), fmt.Sprintf("%s_count", full)
+	if ls != "" {
+		sum = fmt.Sprintf("%s_sum{%s}", full, ls)
+		count = fmt.Sprintf("%s_count{%s}", full, ls)
+	}
+	if _, err := fmt.Fprintf(w, "%s %d\n", sum, h.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", count, h.Count)
+	return err
+}

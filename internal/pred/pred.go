@@ -1,0 +1,427 @@
+// Package pred defines the repository's single predicate-specification
+// language. Every surface that names a predicate — the public gpd.Detect
+// front door, the gpddetect command line, and the stream serving wire
+// protocol — parses into or converts to the Spec of this package, so
+// parsing, validation and rendering live in exactly one place.
+//
+// The concrete grammar (also the output of Spec.String):
+//
+//	all(<var>)                  conjunction of the 0/1 variable over all processes
+//	sum(<var>) <relop> <k>      relational sum predicate
+//	count(<var>) <relop> <k>    symmetric predicate on the true-count of a 0/1 variable
+//	xor(<var>)                  exclusive-or of the 0/1 variable (odd parity)
+//	levels(<var>): m1, m2, ...  symmetric predicate holding at the listed true-counts
+//	inflight <relop> <k>        messages in flight (sent but not received)
+//	cnf(<var>): (0 | !1) & (2)  singular CNF over the 0/1 variable; literals are
+//	                            process ids, ! negates, | joins within a clause,
+//	                            & joins clauses
+package pred
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/distributed-predicates/gpd/internal/core/relsum"
+)
+
+// Family selects the predicate family, which determines the detector.
+type Family int
+
+const (
+	// Conjunctive is the conjunction of a 0/1 variable over all
+	// processes: all(var).
+	Conjunctive Family = iota + 1
+	// Sum is the relational sum predicate sum(var) relop k.
+	Sum
+	// Count is the symmetric predicate count(var) relop k on the number
+	// of processes whose 0/1 variable is true.
+	Count
+	// Xor is the exclusive-or (odd parity) of the 0/1 variable: xor(var).
+	Xor
+	// Levels is the general symmetric predicate given by its true-count
+	// level set: levels(var): m1, m2, ...
+	Levels
+	// CNF is a singular CNF predicate over the 0/1 variable.
+	CNF
+	// InFlight is the channel-occupancy predicate inflight relop k.
+	InFlight
+)
+
+// String names the family (also the JSON encoding).
+func (f Family) String() string {
+	switch f {
+	case Conjunctive:
+		return "conjunctive"
+	case Sum:
+		return "sum"
+	case Count:
+		return "count"
+	case Xor:
+		return "xor"
+	case Levels:
+		return "levels"
+	case CNF:
+		return "cnf"
+	case InFlight:
+		return "inflight"
+	default:
+		return fmt.Sprintf("family(%d)", int(f))
+	}
+}
+
+// ParseFamily parses the JSON encoding of a family.
+func ParseFamily(s string) (Family, error) {
+	switch s {
+	case "conjunctive":
+		return Conjunctive, nil
+	case "sum":
+		return Sum, nil
+	case "count":
+		return Count, nil
+	case "xor":
+		return Xor, nil
+	case "levels":
+		return Levels, nil
+	case "cnf":
+		return CNF, nil
+	case "inflight":
+		return InFlight, nil
+	default:
+		return 0, fmt.Errorf("pred: unknown predicate family %q", s)
+	}
+}
+
+// MarshalText encodes the family for JSON.
+func (f Family) MarshalText() ([]byte, error) { return []byte(f.String()), nil }
+
+// UnmarshalText decodes the family from JSON.
+func (f *Family) UnmarshalText(b []byte) error {
+	v, err := ParseFamily(string(b))
+	if err != nil {
+		return err
+	}
+	*f = v
+	return nil
+}
+
+// Literal is one (possibly negated) per-process literal of a CNF clause.
+type Literal struct {
+	Proc    int  `json:"proc"`
+	Negated bool `json:"neg,omitempty"`
+}
+
+// Clause is a disjunction of literals on distinct processes.
+type Clause []Literal
+
+// Spec is one predicate specification. Exactly the fields of its family
+// are meaningful; Validate enforces the shape.
+type Spec struct {
+	// Family selects the detector family.
+	Family Family
+	// Var names the per-process variable (all families except InFlight).
+	Var string
+	// Rel is the relational operator (Sum, Count, InFlight).
+	Rel relsum.Relop
+	// K is the threshold constant (Sum, Count, InFlight).
+	K int64
+	// Levels is the true-count level set (Levels family).
+	Levels []int
+	// Clauses is the CNF body (CNF family).
+	Clauses []Clause
+}
+
+// specWire is the JSON shape of a Spec: family and relop as strings, K as
+// a pointer so a zero threshold survives round-trips.
+type specWire struct {
+	Family  Family   `json:"family"`
+	Var     string   `json:"var,omitempty"`
+	Rel     string   `json:"rel,omitempty"`
+	K       *int64   `json:"k,omitempty"`
+	Levels  []int    `json:"levels,omitempty"`
+	Clauses []Clause `json:"clauses,omitempty"`
+}
+
+// MarshalJSON encodes the spec with symbolic family and relop names.
+func (s Spec) MarshalJSON() ([]byte, error) {
+	w := specWire{Family: s.Family, Var: s.Var, Levels: s.Levels, Clauses: s.Clauses}
+	if s.usesRel() {
+		w.Rel = s.Rel.String()
+		k := s.K
+		w.K = &k
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes and structurally validates a spec.
+func (s *Spec) UnmarshalJSON(b []byte) error {
+	var w specWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	out := Spec{Family: w.Family, Var: w.Var, Levels: w.Levels, Clauses: w.Clauses}
+	if w.Rel != "" {
+		rel, err := relsum.ParseRelop(w.Rel)
+		if err != nil {
+			return err
+		}
+		out.Rel = rel
+	}
+	if w.K != nil {
+		out.K = *w.K
+	}
+	if err := out.Validate(0); err != nil {
+		return err
+	}
+	*s = out
+	return nil
+}
+
+// usesRel reports whether the family carries a relational operator.
+func (s Spec) usesRel() bool {
+	return s.Family == Sum || s.Family == Count || s.Family == InFlight
+}
+
+// Validate checks the structural shape of the spec. nprocs > 0 also
+// range-checks process references (CNF literals, level values); pass 0
+// when the computation size is not known yet.
+func (s Spec) Validate(nprocs int) error {
+	needVar := s.Family != InFlight
+	if needVar && s.Var == "" {
+		return fmt.Errorf("pred: %v spec needs a variable name", s.Family)
+	}
+	if !needVar && s.Var != "" {
+		return fmt.Errorf("pred: inflight spec does not take a variable, got %q", s.Var)
+	}
+	if s.usesRel() && s.Rel == 0 {
+		return fmt.Errorf("pred: %v spec needs a relational operator", s.Family)
+	}
+	switch s.Family {
+	case Conjunctive, Sum, Count, Xor, InFlight:
+		if len(s.Levels) > 0 || len(s.Clauses) > 0 {
+			return fmt.Errorf("pred: %v spec does not take levels or clauses", s.Family)
+		}
+	case Levels:
+		if len(s.Levels) == 0 {
+			return errors.New("pred: levels spec needs a non-empty level set")
+		}
+		if nprocs > 0 {
+			for _, m := range s.Levels {
+				if m < 0 || m > nprocs {
+					return fmt.Errorf("pred: level %d out of range [0,%d]", m, nprocs)
+				}
+			}
+		}
+	case CNF:
+		if len(s.Clauses) == 0 {
+			return errors.New("pred: cnf spec needs at least one clause")
+		}
+		seen := make(map[int]int)
+		for i, cl := range s.Clauses {
+			if len(cl) == 0 {
+				return fmt.Errorf("pred: cnf clause %d is empty", i)
+			}
+			for _, l := range cl {
+				if l.Proc < 0 || (nprocs > 0 && l.Proc >= nprocs) {
+					return fmt.Errorf("pred: cnf literal references process %d out of range", l.Proc)
+				}
+				if j, dup := seen[l.Proc]; dup {
+					return fmt.Errorf("pred: process %d occurs in clauses %d and %d (predicate is not singular)", l.Proc, j, i)
+				}
+				seen[l.Proc] = i
+			}
+		}
+	default:
+		return fmt.Errorf("pred: unknown predicate family %d", int(s.Family))
+	}
+	return nil
+}
+
+// String renders the spec in the concrete grammar; the output re-parses to
+// an equal spec.
+func (s Spec) String() string {
+	switch s.Family {
+	case Conjunctive:
+		return fmt.Sprintf("all(%s)", s.Var)
+	case Sum:
+		return fmt.Sprintf("sum(%s) %v %d", s.Var, s.Rel, s.K)
+	case Count:
+		return fmt.Sprintf("count(%s) %v %d", s.Var, s.Rel, s.K)
+	case Xor:
+		return fmt.Sprintf("xor(%s)", s.Var)
+	case Levels:
+		parts := make([]string, len(s.Levels))
+		for i, m := range s.Levels {
+			parts[i] = strconv.Itoa(m)
+		}
+		return fmt.Sprintf("levels(%s): %s", s.Var, strings.Join(parts, ", "))
+	case InFlight:
+		return fmt.Sprintf("inflight %v %d", s.Rel, s.K)
+	case CNF:
+		var b strings.Builder
+		fmt.Fprintf(&b, "cnf(%s): ", s.Var)
+		for i, cl := range s.Clauses {
+			if i > 0 {
+				b.WriteString(" & ")
+			}
+			b.WriteByte('(')
+			for j, l := range cl {
+				if j > 0 {
+					b.WriteString(" | ")
+				}
+				if l.Negated {
+					b.WriteByte('!')
+				}
+				b.WriteString(strconv.Itoa(l.Proc))
+			}
+			b.WriteByte(')')
+		}
+		return b.String()
+	default:
+		return fmt.Sprintf("spec(%d)", int(s.Family))
+	}
+}
+
+// Parse parses the concrete grammar (see the package comment) into a
+// structurally validated Spec.
+func Parse(text string) (Spec, error) {
+	s := strings.TrimSpace(text)
+	switch {
+	case strings.HasPrefix(s, "all("):
+		name, err := parseVarOnly(s, "all")
+		if err != nil {
+			return Spec{}, err
+		}
+		sp := Spec{Family: Conjunctive, Var: name}
+		return sp, sp.Validate(0)
+
+	case strings.HasPrefix(s, "sum("):
+		name, rel, k, err := parseRel(s, "sum")
+		if err != nil {
+			return Spec{}, err
+		}
+		sp := Spec{Family: Sum, Var: name, Rel: rel, K: k}
+		return sp, sp.Validate(0)
+
+	case strings.HasPrefix(s, "count("):
+		name, rel, k, err := parseRel(s, "count")
+		if err != nil {
+			return Spec{}, err
+		}
+		sp := Spec{Family: Count, Var: name, Rel: rel, K: k}
+		return sp, sp.Validate(0)
+
+	case strings.HasPrefix(s, "xor("):
+		name, err := parseVarOnly(s, "xor")
+		if err != nil {
+			return Spec{}, err
+		}
+		sp := Spec{Family: Xor, Var: name}
+		return sp, sp.Validate(0)
+
+	case strings.HasPrefix(s, "levels("):
+		name, body, err := parseHeadBody(s, "levels")
+		if err != nil {
+			return Spec{}, err
+		}
+		sp := Spec{Family: Levels, Var: name}
+		for _, f := range strings.Split(body, ",") {
+			m, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return Spec{}, fmt.Errorf("pred: bad level %q", strings.TrimSpace(f))
+			}
+			sp.Levels = append(sp.Levels, m)
+		}
+		return sp, sp.Validate(0)
+
+	case strings.HasPrefix(s, "inflight"):
+		fields := strings.Fields(strings.TrimPrefix(s, "inflight"))
+		if len(fields) != 2 {
+			return Spec{}, fmt.Errorf("pred: want %q, got %q", "inflight relop k", text)
+		}
+		rel, err := relsum.ParseRelop(fields[0])
+		if err != nil {
+			return Spec{}, err
+		}
+		k, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return Spec{}, fmt.Errorf("pred: bad constant %q", fields[1])
+		}
+		sp := Spec{Family: InFlight, Rel: rel, K: k}
+		return sp, sp.Validate(0)
+
+	case strings.HasPrefix(s, "cnf("):
+		name, body, err := parseHeadBody(s, "cnf")
+		if err != nil {
+			return Spec{}, err
+		}
+		sp := Spec{Family: CNF, Var: name}
+		for _, clause := range strings.Split(body, "&") {
+			clause = strings.TrimSpace(clause)
+			clause = strings.TrimPrefix(clause, "(")
+			clause = strings.TrimSuffix(clause, ")")
+			var cl Clause
+			for _, lit := range strings.Split(clause, "|") {
+				lit = strings.TrimSpace(lit)
+				neg := strings.HasPrefix(lit, "!")
+				lit = strings.TrimPrefix(lit, "!")
+				proc, err := strconv.Atoi(lit)
+				if err != nil {
+					return Spec{}, fmt.Errorf("pred: bad literal %q", lit)
+				}
+				cl = append(cl, Literal{Proc: proc, Negated: neg})
+			}
+			sp.Clauses = append(sp.Clauses, cl)
+		}
+		return sp, sp.Validate(0)
+	}
+	return Spec{}, fmt.Errorf("pred: cannot parse predicate %q", text)
+}
+
+// parseVarOnly parses "kind(name)" with nothing after the parenthesis.
+func parseVarOnly(s, kind string) (string, error) {
+	rest := strings.TrimPrefix(s, kind+"(")
+	i := strings.Index(rest, ")")
+	if i < 0 {
+		return "", fmt.Errorf("pred: missing ) in %q", s)
+	}
+	if tail := strings.TrimSpace(rest[i+1:]); tail != "" {
+		return "", fmt.Errorf("pred: unexpected %q after %s(...)", tail, kind)
+	}
+	return rest[:i], nil
+}
+
+// parseRel parses "kind(name) relop k".
+func parseRel(s, kind string) (string, relsum.Relop, int64, error) {
+	rest := strings.TrimPrefix(s, kind+"(")
+	i := strings.Index(rest, ")")
+	if i < 0 {
+		return "", 0, 0, fmt.Errorf("pred: missing ) in %q", s)
+	}
+	name := rest[:i]
+	fields := strings.Fields(rest[i+1:])
+	if len(fields) != 2 {
+		return "", 0, 0, fmt.Errorf("pred: want %q, got %q", kind+"(v) relop k", s)
+	}
+	rel, err := relsum.ParseRelop(fields[0])
+	if err != nil {
+		return "", 0, 0, err
+	}
+	k, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", 0, 0, fmt.Errorf("pred: bad constant %q", fields[1])
+	}
+	return name, rel, k, nil
+}
+
+// parseHeadBody parses `kind(name): body`.
+func parseHeadBody(s, kind string) (name, body string, err error) {
+	rest := strings.TrimPrefix(s, kind+"(")
+	i := strings.Index(rest, "):")
+	if i < 0 {
+		return "", "", fmt.Errorf("pred: want %q, got %q", kind+"(var): ...", s)
+	}
+	return rest[:i], strings.TrimSpace(rest[i+2:]), nil
+}

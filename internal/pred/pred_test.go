@@ -1,0 +1,161 @@
+package pred
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"github.com/distributed-predicates/gpd/internal/core/relsum"
+)
+
+// goodSpecs lists one predicate string per family plus variations; these
+// also anchor the gpddetect grammar, so keep them in sync with that
+// command's package comment.
+var goodSpecs = []string{
+	"all(flag)",
+	"sum(tokens) == 2",
+	"sum(tokens) >= 0",
+	"sum(x) != -3",
+	"count(cs) >= 2",
+	"count(cs) < 1",
+	"xor(vote)",
+	"levels(up): 0, 2, 4",
+	"inflight == 1",
+	"inflight <= 0",
+	"cnf(flag): (0 | !1) & (2 | 3)",
+	"cnf(flag): (0)",
+	"cnf(flag): (!2 | 4) & (1) & (3 | !5)",
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	for _, text := range goodSpecs {
+		sp, err := Parse(text)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", text, err)
+			continue
+		}
+		rendered := sp.String()
+		sp2, err := Parse(rendered)
+		if err != nil {
+			t.Errorf("re-Parse(%q) of %q: %v", rendered, text, err)
+			continue
+		}
+		if !reflect.DeepEqual(sp, sp2) {
+			t.Errorf("round trip %q -> %q: %+v != %+v", text, rendered, sp, sp2)
+		}
+	}
+}
+
+func TestParseJSONRoundTrip(t *testing.T) {
+	for _, text := range goodSpecs {
+		sp, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", text, err)
+		}
+		b, err := json.Marshal(sp)
+		if err != nil {
+			t.Errorf("marshal %q: %v", text, err)
+			continue
+		}
+		var sp2 Spec
+		if err := json.Unmarshal(b, &sp2); err != nil {
+			t.Errorf("unmarshal %s (from %q): %v", b, text, err)
+			continue
+		}
+		if !reflect.DeepEqual(sp, sp2) {
+			t.Errorf("JSON round trip %q via %s: %+v != %+v", text, b, sp, sp2)
+		}
+	}
+}
+
+func TestParseJSONSymbolicNames(t *testing.T) {
+	sp, err := Parse("sum(tokens) == 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"family":"sum","var":"tokens","rel":"==","k":0}`
+	if string(b) != want {
+		t.Errorf("encoding = %s, want %s", b, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"bogus",
+		"sum(tokens) <> 1",   // bad relop
+		"sum(tokens) == x",   // bad constant
+		"sum(tokens",         // missing paren
+		"sum(tokens) == 1 2", // trailing junk
+		"count(v) >=",        // missing constant
+		"xor(v) == 1",        // xor takes no relop
+		"all(v) extra",       // trailing junk
+		"levels(v): a",       // bad level
+		"levels(v):",         // empty level set
+		"inflight == x",
+		"inflight <>",
+		"cnf(v): (a)",       // bad literal
+		"cnf(v) (0)",        // missing colon
+		"cnf(v): (0) & (0)", // not singular
+		"cnf(v): ()",        // empty clause
+	} {
+		if sp, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) = %+v, want error", bad, sp)
+		}
+	}
+}
+
+func TestUnmarshalRejectsInvalid(t *testing.T) {
+	for _, bad := range []string{
+		`{"family":"teleport"}`,
+		`{"family":"sum","var":"x","rel":"<>","k":1}`,
+		`{"family":"sum","var":"x"}`,
+		`{"family":"cnf","var":"x"}`,
+		`{"family":"cnf","var":"x","clauses":[[{"proc":0}],[{"proc":0}]]}`,
+		`{"family":"levels","var":"x"}`,
+		`{"family":"inflight","var":"x","rel":"==","k":1}`,
+	} {
+		var sp Spec
+		if err := json.Unmarshal([]byte(bad), &sp); err == nil {
+			t.Errorf("unmarshal %s = %+v, want error", bad, sp)
+		}
+	}
+}
+
+func TestValidateProcRange(t *testing.T) {
+	sp, err := Parse("cnf(flag): (0 | 5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Validate(4); err == nil {
+		t.Error("literal 5 should be out of range for 4 processes")
+	}
+	if err := sp.Validate(6); err != nil {
+		t.Errorf("literal 5 valid for 6 processes: %v", err)
+	}
+	lv := Spec{Family: Levels, Var: "x", Levels: []int{5}}
+	if err := lv.Validate(4); err == nil {
+		t.Error("level 5 should be out of range for 4 processes")
+	}
+}
+
+func TestRelopEvalUnchanged(t *testing.T) {
+	// pred reuses relsum.Relop verbatim; pin the symbolic encodings the
+	// JSON wire format depends on.
+	for rel, s := range map[relsum.Relop]string{
+		relsum.Lt: "<", relsum.Le: "<=", relsum.Eq: "==",
+		relsum.Ge: ">=", relsum.Gt: ">", relsum.Ne: "!=",
+	} {
+		if rel.String() != s {
+			t.Errorf("relop %d renders %q, want %q", rel, rel.String(), s)
+		}
+		back, err := relsum.ParseRelop(s)
+		if err != nil || back != rel {
+			t.Errorf("ParseRelop(%q) = %v, %v", s, back, err)
+		}
+	}
+}

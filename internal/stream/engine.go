@@ -4,8 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"github.com/distributed-predicates/gpd/internal/obs"
 )
 
 // Engine errors.
@@ -29,6 +33,12 @@ type Config struct {
 	BatchSize int
 	// Policy selects what a full mailbox does with append traffic.
 	Policy OverflowPolicy
+	// Metrics, when non-nil, receives the engine's operational metrics:
+	// per-shard throughput and mailbox occupancy, shed frames, per-session
+	// delivery lag and holdback depth, verdict latency, and the work done
+	// by close-time Definitely rebuilds. A nil registry costs nothing (all
+	// metric handles are nil no-ops).
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -53,6 +63,8 @@ type handle struct {
 	shard int
 
 	sess *Session // owned by the shard worker; never touched elsewhere
+
+	opened time.Time // for verdict latency
 
 	ingested  atomic.Uint64
 	delivered atomic.Int64
@@ -94,6 +106,17 @@ type shard struct {
 	droppedEvents atomic.Uint64
 	detections    atomic.Uint64
 	gauge         atomic.Int64
+
+	// Interned registry handles (nil no-ops when metrics are off).
+	mFrames     *obs.Counter
+	mEvents     *obs.Counter
+	mBatches    *obs.Counter
+	mShedFrames *obs.Counter
+	mShedEvents *obs.Counter
+	mDetections *obs.Counter
+	mSessions   *obs.Gauge
+	mDepth      *obs.Gauge
+	mOccupancy  *obs.Histogram
 }
 
 // Engine is the multi-tenant streaming detector: a pool of shard workers
@@ -105,17 +128,39 @@ type Engine struct {
 	registry sync.Map // session id -> *handle
 	wg       sync.WaitGroup
 	closed   atomic.Bool
+
+	// Engine-wide registry handles (nil no-ops when metrics are off).
+	mDeliveryLag    *obs.Histogram
+	mHoldback       *obs.Histogram
+	mVerdictLatency *obs.Histogram
+	mFinalizeMillis *obs.Histogram
 }
 
 // NewEngine starts the shard pool.
 func NewEngine(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	e := &Engine{cfg: cfg}
+	m := cfg.Metrics
+	e.mDeliveryLag = m.Histogram("stream_delivery_lag_events", obs.ExpBuckets(1, 12)...)
+	e.mHoldback = m.Histogram("stream_holdback_depth", obs.ExpBuckets(1, 12)...)
+	e.mVerdictLatency = m.Histogram("stream_verdict_latency_millis", obs.ExpBuckets(1, 16)...)
+	e.mFinalizeMillis = m.Histogram("stream_finalize_millis", obs.ExpBuckets(1, 16)...)
 	for i := 0; i < cfg.Shards; i++ {
+		label := strconv.Itoa(i)
 		sh := &shard{
 			idx:      i,
 			mb:       newMailbox(cfg.QueueLen),
 			sessions: make(map[string]*handle),
+
+			mFrames:     m.Counter(obs.Label("stream_frames_total", "shard", label)),
+			mEvents:     m.Counter(obs.Label("stream_events_total", "shard", label)),
+			mBatches:    m.Counter(obs.Label("stream_batches_total", "shard", label)),
+			mShedFrames: m.Counter(obs.Label("stream_shed_frames_total", "shard", label)),
+			mShedEvents: m.Counter(obs.Label("stream_shed_events_total", "shard", label)),
+			mDetections: m.Counter(obs.Label("stream_detections_total", "shard", label)),
+			mSessions:   m.Gauge(obs.Label("stream_sessions", "shard", label)),
+			mDepth:      m.Gauge(obs.Label("stream_mailbox_depth", "shard", label)),
+			mOccupancy:  m.Histogram(obs.Label("stream_mailbox_occupancy", "shard", label), obs.ExpBuckets(1, 10)...),
 		}
 		e.shards = append(e.shards, sh)
 		e.wg.Add(1)
@@ -137,14 +182,28 @@ func (e *Engine) run(sh *shard) {
 	defer e.wg.Done()
 	batch := make([]shardMsg, 0, e.cfg.BatchSize)
 	touched := make(map[string]*handle)
+	tick := 0
 	for {
 		var ok bool
 		batch, ok = sh.mb.drain(batch[:0], e.cfg.BatchSize)
+		// Distribution metrics (mailbox occupancy, delivery lag, holdback
+		// depth) are sampled on every 8th non-empty batch: they describe
+		// steady-state shapes, and sampling keeps the ingest hot path
+		// within the instrumentation overhead budget. Counters stay exact.
+		sample := false
 		for _, m := range batch {
 			e.apply(sh, m, touched)
 		}
 		if len(batch) > 0 {
 			sh.batches.Add(1)
+			sh.mBatches.Inc()
+			tick++
+			sample = sh.mOccupancy != nil && tick&7 == 0
+			if sample {
+				depth, _ := sh.mb.depth()
+				sh.mOccupancy.Observe(int64(depth))
+				sh.mDepth.Set(int64(depth))
+			}
 		}
 		for id, h := range touched {
 			delete(touched, id)
@@ -152,7 +211,7 @@ func (e *Engine) run(sh *shard) {
 				continue // closed within the batch
 			}
 			h.sess.Flush()
-			e.publish(sh, h)
+			e.publish(sh, h, sample)
 		}
 		if !ok {
 			return
@@ -160,25 +219,37 @@ func (e *Engine) run(sh *shard) {
 	}
 }
 
-// publish copies a session's state into its handle's atomics.
-func (e *Engine) publish(sh *shard, h *handle) {
+// publish copies a session's state into its handle's atomics and feeds the
+// per-session registry metrics (delivery lag, holdback depth, verdict
+// latency). Runs once per touched session per batch; the lag and holdback
+// histograms are only fed on sampled batches (see run).
+func (e *Engine) publish(sh *shard, h *handle, sample bool) {
 	s := h.sess
-	h.delivered.Store(s.Delivered())
-	h.holdback.Store(int64(s.Holdback()))
+	delivered := s.Delivered()
+	holdback := int64(s.Holdback())
+	h.delivered.Store(delivered)
+	h.holdback.Store(holdback)
 	h.window.Store(int64(s.Window()))
 	h.flushes.Store(int64(s.Flushes()))
+	if sample {
+		e.mDeliveryLag.Observe(int64(h.ingested.Load()) - delivered)
+		e.mHoldback.Observe(holdback)
+	}
 	if err := s.Err(); err != nil {
 		h.errStr.Store(err.Error())
 	}
 	if s.Possibly() && !h.possibly.Load() {
 		h.possibly.Store(true)
 		sh.detections.Add(1)
+		sh.mDetections.Inc()
+		e.mVerdictLatency.Observe(time.Since(h.opened).Milliseconds())
 	}
 }
 
 // apply processes one mailbox message on the worker goroutine.
 func (e *Engine) apply(sh *shard, m shardMsg, touched map[string]*handle) {
 	sh.frames.Add(1)
+	sh.mFrames.Inc()
 	switch m.kind {
 	case msgOpen:
 		if _, exists := sh.sessions[m.session]; exists {
@@ -190,20 +261,24 @@ func (e *Engine) apply(sh *shard, m shardMsg, touched map[string]*handle) {
 			m.reply <- shardReply{err: err}
 			return
 		}
-		h := &handle{id: m.session, kind: m.spec.Kind, shard: sh.idx, sess: sess}
+		h := &handle{id: m.session, kind: m.spec.Kind, shard: sh.idx, sess: sess, opened: time.Now()}
 		sh.sessions[m.session] = h
 		e.registry.Store(m.session, h)
 		sh.gauge.Add(1)
-		e.publish(sh, h) // a satisfied initial cut latches immediately
+		sh.mSessions.Add(1)
+		e.publish(sh, h, true) // a satisfied initial cut latches immediately
 		m.reply <- shardReply{}
 	case msgAppend:
 		h, exists := sh.sessions[m.session]
 		if !exists {
 			sh.droppedFrames.Add(1)
 			sh.droppedEvents.Add(uint64(len(m.events)))
+			sh.mShedFrames.Inc()
+			sh.mShedEvents.Add(int64(len(m.events)))
 			return
 		}
 		sh.events.Add(uint64(len(m.events)))
+		sh.mEvents.Add(int64(len(m.events)))
 		h.ingested.Add(uint64(len(m.events)))
 		for _, ev := range m.events {
 			if h.sess.Step(ev) != nil {
@@ -218,7 +293,7 @@ func (e *Engine) apply(sh *shard, m shardMsg, touched map[string]*handle) {
 			return
 		}
 		h.sess.Flush()
-		e.publish(sh, h)
+		e.publish(sh, h, true)
 		m.reply <- shardReply{stats: h.stats()}
 	case msgClose:
 		h, exists := sh.sessions[m.session]
@@ -226,14 +301,34 @@ func (e *Engine) apply(sh *shard, m shardMsg, touched map[string]*handle) {
 			m.reply <- shardReply{err: fmt.Errorf("%w: %q", ErrUnknownSession, m.session)}
 			return
 		}
-		verdict, err := h.sess.Finalize()
-		e.publish(sh, h)
+		var tr *obs.Trace
+		if e.cfg.Metrics != nil {
+			tr = obs.NewTrace()
+		}
+		start := time.Now()
+		verdict, err := h.sess.FinalizeTraced(tr)
+		e.mFinalizeMillis.Observe(time.Since(start).Milliseconds())
+		e.foldFinalizeWork(tr)
+		e.publish(sh, h, true)
 		delete(sh.sessions, m.session)
 		e.registry.Delete(m.session)
 		sh.gauge.Add(-1)
+		sh.mSessions.Add(-1)
 		h.sess = nil
 		delete(touched, m.session)
 		m.reply <- shardReply{verdict: verdict, err: err}
+	}
+}
+
+// foldFinalizeWork adds the work counters of a close-time Definitely
+// rebuild into the registry, one labeled counter per detector counter —
+// the accounting the old Finalize path dropped on the floor.
+func (e *Engine) foldFinalizeWork(tr *obs.Trace) {
+	if tr == nil {
+		return
+	}
+	for name, v := range tr.Report().Counters {
+		e.cfg.Metrics.Counter(obs.Label("stream_finalize_work_total", "counter", name)).Add(v)
 	}
 }
 

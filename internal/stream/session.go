@@ -7,6 +7,7 @@ import (
 	"github.com/distributed-predicates/gpd/internal/conjunctive"
 	"github.com/distributed-predicates/gpd/internal/core/relsum"
 	"github.com/distributed-predicates/gpd/internal/core/symmetric"
+	"github.com/distributed-predicates/gpd/internal/obs"
 	"github.com/distributed-predicates/gpd/internal/vclock"
 )
 
@@ -82,6 +83,19 @@ func NewSession(spec Spec) (*Session, error) {
 		s.possibly = s.sym.Found()
 	}
 	return s, nil
+}
+
+// SetTrace routes the session's incremental-detector work counters
+// (closure recomputations of the sum-family trackers) into the given
+// trace. A nil trace disables accounting. Finalize work is accounted
+// separately via FinalizeTraced.
+func (s *Session) SetTrace(tr *obs.Trace) {
+	if s.sum != nil {
+		s.sum.SetTrace(tr)
+	}
+	if s.sym != nil {
+		s.sym.SetTrace(tr)
+	}
 }
 
 // involved returns the conjunctive involved set (default: all processes).
@@ -353,6 +367,19 @@ func (s *Session) Flushes() int { return s.flushes }
 // Possibly verdict in the returned Verdict is exact for the complete
 // computation.
 func (s *Session) Finalize() (Verdict, error) {
+	return s.FinalizeTraced(nil)
+}
+
+// FinalizeTraced is Finalize with the close-time work accounted into the
+// trace: the rebuild size and the full work counters of the offline
+// Definitely detectors (region cuts explored, interval eliminations, ...).
+// Before this existed, the close-time Definitely rebuild — the most
+// expensive step a session ever runs, worst-case exponential — was
+// invisible to observability; the engine now routes it into the metrics
+// registry.
+func (s *Session) FinalizeTraced(tr *obs.Trace) (Verdict, error) {
+	doneAll := tr.Span("stream.finalize")
+	defer doneAll()
 	s.Flush()
 	v := Verdict{Possibly: s.possibly}
 	if s.err != nil {
@@ -364,10 +391,13 @@ func (s *Session) Finalize() (Verdict, error) {
 	if !s.spec.Retain {
 		return v, nil
 	}
+	doneRebuild := tr.Span("stream.rebuild")
 	c, err := s.buildComputation()
+	doneRebuild()
 	if err != nil {
 		return v, s.fail(err)
 	}
+	tr.Add("stream.rebuilt_events", int64(c.NumEvents()))
 	switch s.spec.Kind {
 	case Conjunctive:
 		truth := make([][]bool, s.spec.Procs)
@@ -386,10 +416,10 @@ func (s *Session) Finalize() (Verdict, error) {
 				return e.Index < len(row) && row[e.Index]
 			}
 		}
-		v.Definitely = conjunctive.DetectDefinitely(c, locals)
+		v.Definitely = conjunctive.DetectDefinitelyTraced(c, locals, tr)
 		v.DefinitelyKnown = true
 	case SumEq:
-		def, err := relsum.Definitely(c, varName, relsum.Eq, s.spec.K)
+		def, err := relsum.DefinitelyTraced(c, varName, relsum.Eq, s.spec.K, tr)
 		if err != nil {
 			return v, s.fail(err)
 		}
@@ -397,7 +427,7 @@ func (s *Session) Finalize() (Verdict, error) {
 	case Symmetric:
 		spec := symmetric.Spec{N: s.spec.Procs, Levels: s.spec.Levels}
 		truth := func(e computation.Event) bool { return c.Var(varName, e.ID) != 0 }
-		def, err := symmetric.Definitely(c, spec, truth)
+		def, err := symmetric.DefinitelyTraced(c, spec, truth, tr)
 		if err != nil {
 			return v, s.fail(err)
 		}

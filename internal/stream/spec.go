@@ -22,8 +22,10 @@
 package stream
 
 import (
-	"errors"
 	"fmt"
+
+	"github.com/distributed-predicates/gpd/internal/core/relsum"
+	"github.com/distributed-predicates/gpd/internal/pred"
 )
 
 // Kind selects the predicate family of a session.
@@ -96,25 +98,45 @@ type Spec struct {
 	MaxWindow int `json:"max_window,omitempty"`
 }
 
-// Validate checks the spec for structural errors.
+// Pred converts the wire spec into the canonical predicate specification
+// shared with gpd.Detect and gpddetect (internal/pred). The streamed
+// variable is the session's single tracked variable, named varName in the
+// rebuilt computation. Stream-transport fields (Procs, Involved, Init,
+// Retain, MaxWindow) have no counterpart in the canonical spec and are
+// validated separately by Validate.
+func (sp Spec) Pred() (pred.Spec, error) {
+	switch sp.Kind {
+	case Conjunctive:
+		return pred.Spec{Family: pred.Conjunctive, Var: varName}, nil
+	case SumEq:
+		return pred.Spec{Family: pred.Sum, Var: varName, Rel: relsum.Eq, K: sp.K}, nil
+	case Symmetric:
+		return pred.Spec{Family: pred.Levels, Var: varName, Levels: sp.Levels}, nil
+	default:
+		return pred.Spec{}, fmt.Errorf("stream: unknown predicate kind %d", int(sp.Kind))
+	}
+}
+
+// Validate checks the spec for structural errors. Predicate-shape rules
+// (e.g. a non-empty symmetric level set) are enforced by converting to the
+// canonical pred.Spec and validating that, so the wire protocol and the
+// offline surfaces cannot drift apart; only stream-transport fields are
+// checked here.
 func (sp Spec) Validate() error {
 	if sp.Procs < 1 {
 		return fmt.Errorf("stream: spec needs procs >= 1, got %d", sp.Procs)
 	}
-	switch sp.Kind {
-	case Conjunctive:
-		for _, p := range sp.Involved {
-			if p < 0 || p >= sp.Procs {
-				return fmt.Errorf("stream: involved process %d out of range [0,%d)", p, sp.Procs)
-			}
+	ps, err := sp.Pred()
+	if err != nil {
+		return err
+	}
+	if err := ps.Validate(sp.Procs); err != nil {
+		return fmt.Errorf("stream: %w", err)
+	}
+	for _, p := range sp.Involved {
+		if p < 0 || p >= sp.Procs {
+			return fmt.Errorf("stream: involved process %d out of range [0,%d)", p, sp.Procs)
 		}
-	case SumEq:
-	case Symmetric:
-		if len(sp.Levels) == 0 {
-			return errors.New("stream: symmetric spec needs a non-empty level set")
-		}
-	default:
-		return fmt.Errorf("stream: unknown predicate kind %d", int(sp.Kind))
 	}
 	if len(sp.Init) > sp.Procs {
 		return fmt.Errorf("stream: %d initial values for %d processes", len(sp.Init), sp.Procs)
