@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// layerRule forbids a set of import edges: any package under one of the
+// Layers prefixes (module-relative) importing anything under one of the
+// Forbid prefixes is a finding. Forbid entries are module-relative
+// unless they name a standard-library path (no dot in the first
+// segment is not a reliable test, so entries are tagged explicitly with
+// "std:"), and the special entry "<module>" forbids every module-local
+// import.
+type layerRule struct {
+	Layers []string
+	Forbid []string
+	Why    string
+}
+
+// layerRules is the single table declaring the allowed shape of the
+// import graph. Everything not forbidden here is allowed.
+var layerRules = []layerRule{
+	{
+		// The theory core: the computation/lattice model and the
+		// detection algorithms of the paper. Keeping it free of the
+		// serving stack and the network is what makes the detectors
+		// replayable and testable in isolation.
+		Layers: []string{
+			"internal/computation", "internal/vclock", "internal/lattice",
+			"internal/cnf", "internal/chains", "internal/core",
+			"internal/slicing", "internal/sat", "internal/subsetsum",
+			"internal/maxflow", "internal/matching", "internal/linear",
+			"internal/conjunctive", "internal/pred", "internal/gen",
+		},
+		Forbid: []string{"internal/stream", "internal/monitor", "std:net", "std:net/http"},
+		Why:    "theory core stays serving-free",
+	},
+	{
+		// The observability substrate is dependency-free by contract:
+		// every other package may import it, so it may import none of
+		// them (and certainly not the network).
+		Layers: []string{"internal/obs"},
+		Forbid: []string{"<module>", "std:net", "std:net/http"},
+		Why:    "obs is the dependency-free substrate",
+	},
+	{
+		// The two serving stacks are peers, not layers of each other.
+		Layers: []string{"internal/stream"},
+		Forbid: []string{"internal/monitor"},
+		Why:    "stream and monitor are independent serving stacks",
+	},
+	{
+		Layers: []string{"internal/monitor"},
+		Forbid: []string{"internal/stream"},
+		Why:    "stream and monitor are independent serving stacks",
+	},
+}
+
+// AnalyzerLayering enforces the import-graph table above.
+var AnalyzerLayering = &Analyzer{
+	Name: "layering",
+	Doc:  "theory core must not import the serving stack (stream/monitor) or the network",
+	Run:  runLayering,
+}
+
+func runLayering(pass *Pass) {
+	rel := pass.Pkg.RelPath
+	modPath := strings.TrimSuffix(pass.Pkg.Path, "/"+rel)
+	if rel == "" {
+		modPath = pass.Pkg.Path
+	}
+	for _, rule := range layerRules {
+		if !relPathMatches(rel, rule.Layers) {
+			continue
+		}
+		for _, f := range pass.Pkg.Files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if bad, label := forbidden(path, modPath, rule.Forbid); bad {
+					pass.Reportf(imp.Pos(), "package %s must not import %s (%s)",
+						rel, label, rule.Why)
+				}
+			}
+		}
+	}
+}
+
+// forbidden reports whether the imported path hits one of the rule's
+// forbidden prefixes, and with what human-readable label.
+func forbidden(imported, modPath string, forbid []string) (bool, string) {
+	local := imported == modPath || hasPathPrefix(imported, modPath)
+	relImported := ""
+	if local {
+		relImported = strings.TrimPrefix(strings.TrimPrefix(imported, modPath), "/")
+	}
+	for _, f := range forbid {
+		switch {
+		case f == "<module>":
+			if local {
+				return true, "module-local packages"
+			}
+		case strings.HasPrefix(f, "std:"):
+			if !local && hasPathPrefix(imported, strings.TrimPrefix(f, "std:")) {
+				return true, imported
+			}
+		default:
+			if local && hasPathPrefix(relImported, f) {
+				return true, f
+			}
+		}
+	}
+	return false, ""
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// obsHandles are the nil-tolerant handle types of internal/obs: all of
+// their methods are no-ops on a nil receiver, which is the whole point
+// of the package — instrumented code never branches on whether metrics
+// are enabled.
+var obsHandles = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"Registry": true, "Trace": true, "Span": true,
+}
+
+// AnalyzerObsNil enforces the nil-safe usage discipline of obs handles
+// outside internal/obs itself: no dereference, no field access, and no
+// redundant nil guard around calls that are already nil-safe (a guard
+// re-introduces exactly the inconsistently-checked branch the handles
+// were designed to remove).
+var AnalyzerObsNil = &Analyzer{
+	Name: "obsnil",
+	Doc:  "obs handles are used only through their nil-safe methods (no deref, no field access, no redundant nil guard)",
+	Run:  runObsNil,
+}
+
+// isObsHandle reports whether t is (a pointer to) one of the obs handle
+// types, identified by package-path suffix so fixture modules exercise
+// the rule too.
+func isObsHandle(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !obsHandles[obj.Name()] {
+		return false
+	}
+	return hasPathPrefix(obj.Pkg().Path(), "internal/obs") ||
+		hasSuffixSegment(obj.Pkg().Path(), "internal/obs")
+}
+
+// hasSuffixSegment reports whether path ends in the slash-separated
+// suffix on a segment boundary.
+func hasSuffixSegment(path, suffix string) bool {
+	if path == suffix {
+		return true
+	}
+	n := len(path) - len(suffix)
+	return n > 0 && path[n-1] == '/' && path[n:] == suffix
+}
+
+func runObsNil(pass *Pass) {
+	if hasSuffixSegment(pass.Pkg.Path, "internal/obs") {
+		return // the package itself may touch its own fields
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				selection, ok := info.Selections[n]
+				if !ok || selection.Kind() != types.FieldVal {
+					return true
+				}
+				if isObsHandle(selection.Recv()) {
+					pass.Reportf(n.Sel.Pos(),
+						"field access on obs handle %s; use its nil-safe methods", types.ExprString(n.X))
+				}
+			case *ast.StarExpr:
+				tv, ok := info.Types[n.X]
+				if !ok || tv.IsType() {
+					return true // *obs.Counter as a type, not a deref
+				}
+				if isObsHandle(tv.Type) {
+					if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+						pass.Reportf(n.Pos(),
+							"dereference of obs handle %s copies its atomics; use the handle's nil-safe methods", types.ExprString(n.X))
+					}
+				}
+			case *ast.IfStmt:
+				checkRedundantGuard(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkRedundantGuard flags `if h != nil { h.Method(...) ... }` where h
+// is an obs handle and the body only calls methods on h: the guard is
+// dead weight (the methods are nil-safe) and the pattern drifts into
+// the inconsistent compare-then-use bugs the handles exist to prevent.
+func checkRedundantGuard(pass *Pass, stmt *ast.IfStmt) {
+	if stmt.Init != nil || stmt.Else != nil {
+		return
+	}
+	bin, ok := stmt.Cond.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.NEQ {
+		return
+	}
+	handle := bin.X
+	if isNil(pass, bin.X) {
+		handle = bin.Y
+	} else if !isNil(pass, bin.Y) {
+		return
+	}
+	tv, ok := pass.Pkg.Info.Types[handle]
+	if !ok || !isObsHandle(tv.Type) {
+		return
+	}
+	if _, isPtr := tv.Type.(*types.Pointer); !isPtr {
+		return
+	}
+	want := types.ExprString(handle)
+	if len(stmt.Body.List) == 0 {
+		return
+	}
+	for _, s := range stmt.Body.List {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			return
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || types.ExprString(sel.X) != want {
+			return
+		}
+	}
+	pass.Reportf(stmt.Pos(),
+		"redundant nil guard: methods on obs handle %s are nil-safe no-ops", want)
+}
+
+// isNil reports whether e is the predeclared nil.
+func isNil(pass *Pass, e ast.Expr) bool {
+	ident, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilObj := pass.Pkg.Info.Uses[ident].(*types.Nil)
+	return isNilObj
+}

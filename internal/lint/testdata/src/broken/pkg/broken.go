@@ -1,0 +1,6 @@
+// Package pkg does not parse: the driver must exit 2.
+package pkg
+
+func Broken( {
+	return
+}

@@ -1,0 +1,5 @@
+// Package pkg is a trivially clean fixture: the driver must exit 0.
+package pkg
+
+// Add sums two ints.
+func Add(a, b int) int { return a + b }

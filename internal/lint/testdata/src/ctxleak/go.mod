@@ -1,0 +1,3 @@
+module example.com/ctxleak
+
+go 1.22

@@ -1,0 +1,69 @@
+// Package stream stands in for a concurrent serving package: every
+// goroutine must be tied to a shutdown path.
+package stream
+
+import (
+	"context"
+	"sync"
+)
+
+// Worker owns a goroutine pool.
+type Worker struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+	jobs chan int
+}
+
+// StartTracked launches with a WaitGroup registration: allowed.
+func (w *Worker) StartTracked() {
+	w.wg.Add(1)
+	go w.loop()
+}
+
+func (w *Worker) loop() {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.done:
+			return
+		case j := <-w.jobs:
+			_ = j
+		}
+	}
+}
+
+// StartDone launches a callee that watches the done channel: allowed.
+func (w *Worker) StartDone() {
+	go w.watch()
+}
+
+func (w *Worker) watch() {
+	<-w.done
+}
+
+// StartCtx launches a literal that watches ctx.Done(): allowed.
+func (w *Worker) StartCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// StartLeakLit launches a literal with no shutdown tie.
+func (w *Worker) StartLeakLit() {
+	go func() { // want `goroutine has no shutdown tie`
+		for j := range w.jobs {
+			_ = j
+		}
+	}()
+}
+
+// StartLeakMethod launches a method whose body has no shutdown tie.
+func (w *Worker) StartLeakMethod() {
+	go w.drain() // want `goroutine has no shutdown tie`
+}
+
+func (w *Worker) drain() {
+	for j := range w.jobs {
+		_ = j
+	}
+}

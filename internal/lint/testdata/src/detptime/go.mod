@@ -1,0 +1,3 @@
+module example.com/detptime
+
+go 1.22

@@ -1,0 +1,16 @@
+// Package lattice stands in for a deterministic package: replay and
+// agreement tests depend on it being a pure function of its inputs.
+package lattice
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad reads ambient state a replay cannot reproduce.
+func Bad() time.Duration {
+	start := time.Now()      // want `time\.Now in deterministic package internal/lattice`
+	_ = rand.Intn(10)        // want `global rand\.Intn in deterministic package internal/lattice`
+	time.Sleep(0)            // want `time\.Sleep in deterministic package internal/lattice`
+	return time.Since(start) // want `time\.Since in deterministic package internal/lattice`
+}

@@ -1,0 +1,15 @@
+package lattice
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Good takes its randomness and durations as explicit inputs.
+func Good(seed int64, budget time.Duration) int {
+	rng := rand.New(rand.NewSource(seed))
+	if budget > 0 {
+		return rng.Intn(10)
+	}
+	return 0
+}

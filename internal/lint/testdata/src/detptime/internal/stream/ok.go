@@ -1,0 +1,10 @@
+// Package stream is outside the deterministic set: the serving stack
+// may read the wall clock freely.
+package stream
+
+import "time"
+
+// Uptime is allowed to use the clock.
+func Uptime(since time.Time) time.Duration {
+	return time.Since(since)
+}

@@ -1,0 +1,3 @@
+module example.com/ignore
+
+go 1.22

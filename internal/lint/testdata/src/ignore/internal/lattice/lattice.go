@@ -1,0 +1,30 @@
+// Package lattice exercises //lint:ignore suppression against the
+// detptime rule.
+package lattice
+
+import "time"
+
+// Suppressed carries a well-formed directive: no finding survives.
+func Suppressed() int64 {
+	//lint:ignore detptime benchmarking scaffold, never replayed
+	return time.Now().UnixNano()
+}
+
+// Unsuppressed has no directive: the finding survives.
+func Unsuppressed() int64 {
+	return time.Now().UnixNano()
+}
+
+// BadDirective has a directive without a reason: it suppresses nothing
+// and is itself reported under the "ignore" rule.
+func BadDirective() int64 {
+	//lint:ignore detptime
+	return time.Now().UnixNano()
+}
+
+// WrongRule suppresses a different rule, so the detptime finding
+// survives.
+func WrongRule() int64 {
+	//lint:ignore lockheld the wrong rule on purpose
+	return time.Now().UnixNano()
+}

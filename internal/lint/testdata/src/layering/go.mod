@@ -1,0 +1,3 @@
+module example.com/layering
+
+go 1.22

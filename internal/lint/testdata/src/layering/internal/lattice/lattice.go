@@ -1,0 +1,17 @@
+// Package lattice stands in for the theory core: it must stay
+// serving-free.
+package lattice
+
+import (
+	"net" // want `package internal/lattice must not import net`
+	"sort"
+
+	"example.com/layering/internal/stream" // want `package internal/lattice must not import internal/stream`
+)
+
+// Explore pretends to explore a lattice of cuts.
+func Explore(cuts []int) int {
+	sort.Ints(cuts)
+	_ = net.IPv4len
+	return stream.Frames() + len(cuts)
+}

@@ -1,0 +1,11 @@
+// Package monitor stands in for the online checker stack; importing
+// the network is its job, so no finding here.
+package monitor
+
+import "net"
+
+// Observations reports a made-up observation count.
+func Observations() int {
+	_ = net.FlagLoopback
+	return 1
+}

@@ -1,0 +1,20 @@
+// Package obs stands in for the observability substrate, which is
+// dependency-free by contract.
+package obs
+
+import (
+	"sync/atomic"
+
+	"example.com/layering/internal/util" // want `package internal/obs must not import module-local packages`
+)
+
+// Counter is a stand-in metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc bumps the counter.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(util.One())
+}

@@ -1,0 +1,15 @@
+// Package stream stands in for the serving stack: it may use the
+// network, but not its peer serving stack.
+package stream
+
+import (
+	"net"
+
+	"example.com/layering/internal/monitor" // want `package internal/stream must not import internal/monitor`
+)
+
+// Frames reports a made-up frame count.
+func Frames() int {
+	_ = net.FlagUp
+	return monitor.Observations()
+}

@@ -1,0 +1,5 @@
+// Package util is a neutral helper package other fixtures import.
+package util
+
+// One returns 1.
+func One() int64 { return 1 }

@@ -1,0 +1,3 @@
+module example.com/lockheld
+
+go 1.22

@@ -1,0 +1,56 @@
+package lockheld
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Negative cases: released before blocking, snapshot-then-close, a
+// condition wait (which releases the lock), and a fresh goroutine.
+
+func (s *srv) releasedBeforeSend() {
+	s.mu.Lock()
+	s.conns[nil] = struct{}{}
+	s.mu.Unlock()
+	s.ch <- 1
+	<-s.ch
+	time.Sleep(time.Millisecond)
+}
+
+func (s *srv) snapshotThenClose() {
+	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+type queue struct {
+	mu       sync.Mutex
+	notEmpty sync.Cond
+	items    []int
+}
+
+func (q *queue) pop() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 {
+		q.notEmpty.Wait() // releases q.mu while blocked: fine
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v
+}
+
+func (s *srv) goroutineIsFresh() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.ch <- 1 // other goroutine: does not hold s.mu
+	}()
+}

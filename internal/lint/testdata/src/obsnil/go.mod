@@ -1,0 +1,3 @@
+module example.com/obsnil
+
+go 1.22

@@ -1,0 +1,53 @@
+// Package obs is a miniature of the real observability substrate: all
+// handle methods are nil-safe no-ops. V is exported only so the
+// analyzer's field-access check has something to catch.
+package obs
+
+// Counter is a nil-safe counter handle.
+type Counter struct{ V int64 }
+
+// Inc bumps the counter.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.V++
+}
+
+// Value reads the counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.V
+}
+
+// Gauge is a nil-safe gauge handle.
+type Gauge struct{ V int64 }
+
+// Set stores the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.V = n
+}
+
+// Registry interns named metrics.
+type Registry struct{ counters map[string]*Counter }
+
+// Counter returns the named counter, nil-safely.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}

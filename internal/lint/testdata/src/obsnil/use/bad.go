@@ -1,0 +1,13 @@
+package use
+
+import "example.com/obsnil/internal/obs"
+
+// Bad exercises every forbidden handle usage.
+func Bad(c *obs.Counter, g *obs.Gauge) int64 {
+	v := c.V      // want `field access on obs handle c`
+	cc := *c      // want `dereference of obs handle c`
+	if g != nil { // want `redundant nil guard`
+		g.Set(1)
+	}
+	return v + cc.V // want `field access on obs handle cc`
+}

@@ -1,0 +1,19 @@
+package use
+
+import "example.com/obsnil/internal/obs"
+
+// Good sticks to nil-safe method calls; sampling guards whose body
+// does more than call methods on the handle stay allowed.
+func Good(c *obs.Counter, r *obs.Registry) int64 {
+	c.Inc()
+	r.Counter("events").Inc()
+	enabled := c != nil
+	if enabled {
+		c.Inc()
+	}
+	if c != nil {
+		v := c.Value()
+		return v
+	}
+	return 0
+}
