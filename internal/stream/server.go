@@ -79,11 +79,19 @@ func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		close(s.done)
 		s.closeErr = s.ln.Close()
+		// Snapshot under the lock, close outside it: net.Conn.Close is
+		// I/O and must not run while holding s.mu (serve goroutines take
+		// the same lock to deregister, and a stalled close would wedge
+		// them behind it).
 		s.mu.Lock()
+		conns := make([]net.Conn, 0, len(s.conns))
 		for c := range s.conns {
-			c.Close()
+			conns = append(conns, c)
 		}
 		s.mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
 		s.wg.Wait()
 	})
 	return s.closeErr
