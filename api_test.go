@@ -366,3 +366,48 @@ func TestStreamSpecMatchesCanonical(t *testing.T) {
 		t.Error("symmetric stream spec without levels must fail validation")
 	}
 }
+
+// FuzzParseSpec fuzzes the canonical predicate grammar round-trip:
+// whatever ParseSpec accepts must render with String() to text that
+// re-parses to the identical Spec (a fixpoint), without ever panicking.
+// Every surface of the repository (Detect, gpddetect, the streaming
+// wire protocol) trusts this property when it echoes specs around.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"all(x)",
+		"xor(ready)",
+		"sum(u) >= 7",
+		"sum(u) == 0",
+		"count(x) < 2",
+		"levels(x): 0, 2, 4",
+		"inflight > 3",
+		"cnf(x): (0 | !1) & (2)",
+		"cnf(x): (!0)",
+		"  all( spaced )  ",
+		"levels(v): +1",
+		"sum(v) >= 9223372036854775807",
+		"all()",
+		"levels(x):",
+		"cnf(x): (0 | 0)",
+		"nonsense",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		spec, err := gpd.ParseSpec(text)
+		if err != nil {
+			return // rejected input: only panics are bugs here
+		}
+		rendered := spec.String()
+		again, err := gpd.ParseSpec(rendered)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q) ok, but rendering %q does not re-parse: %v", text, rendered, err)
+		}
+		if !reflect.DeepEqual(spec, again) {
+			t.Fatalf("round-trip fixpoint broken: %q -> %#v -> %q -> %#v", text, spec, rendered, again)
+		}
+		if r2 := again.String(); r2 != rendered {
+			t.Fatalf("String not stable: %q then %q (from %q)", rendered, r2, text)
+		}
+	})
+}
