@@ -200,14 +200,21 @@ func bestIngest(metrics *obs.Registry, events, rounds int) (float64, error) {
 
 // ingestOnce replays the BenchmarkStreamIngest workload — one SumEq
 // session per shard, in-order unit-step streams, batched appends,
-// Backpressure policy — and returns events/sec.
+// Backpressure policy — and returns events/sec. The instrumented
+// configuration carries the full observability stack: the metrics
+// registry AND the flight recorder, so the committed overhead number
+// reflects what a production server actually pays.
 func ingestOnce(metrics *obs.Registry, events int) (float64, error) {
 	const (
 		procs    = 8
 		batch    = 64
 		sessions = 4
 	)
-	eng := stream.NewEngine(stream.Config{Shards: 4, QueueLen: 256, BatchSize: 64, Metrics: metrics})
+	cfg := stream.Config{Shards: 4, QueueLen: 256, BatchSize: 64, Metrics: metrics}
+	if metrics != nil {
+		cfg.Flight = obs.NewFlight(4096)
+	}
+	eng := stream.NewEngine(cfg)
 	defer eng.Shutdown()
 
 	type source struct {

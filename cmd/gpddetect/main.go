@@ -24,7 +24,10 @@
 //	                            | within clauses and & between clauses
 //
 // -report appends the run's work accounting (timed spans and per-phase
-// work counters) to the verdict.
+// work counters) to the verdict. -flight writes the same span tree as
+// Chrome trace-event JSON (loadable in Perfetto or chrome://tracing),
+// the format the gpdserver flight recorder also exports — an offline
+// run and a server flight dump open in the same UI.
 package main
 
 import (
@@ -51,6 +54,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	modality := fs.String("modality", "possibly", "possibly or definitely")
 	strategy := fs.String("strategy", "auto", "singular strategy: auto, receive-ordered, send-ordered, subsets, chains")
 	report := fs.Bool("report", false, "print the run's work counters and timed spans")
+	flight := fs.String("flight", "", "write the run's span tree as Chrome trace-event JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -111,7 +115,25 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 	printReport(stdout, rep, *report)
+	if *flight != "" {
+		if err := writeFlight(*flight, rep.Work); err != nil {
+			return fmt.Errorf("write flight trace: %w", err)
+		}
+	}
 	return nil
+}
+
+// writeFlight exports the run's span tree as Chrome trace-event JSON.
+func writeFlight(path string, work gpd.Work) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = work.WriteChromeTrace(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // printReport renders a detection report in the CLI's historical output

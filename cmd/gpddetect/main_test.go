@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -195,5 +197,46 @@ func TestAllPredicate(t *testing.T) {
 	out = detectOut(t, "-trace", trace, "-pred", "all(tokens)", "-modality", "definitely")
 	if !strings.Contains(out, "Definitely(all(tokens))") {
 		t.Errorf("got %q", out)
+	}
+}
+
+// TestFlightExport runs a detection with -flight and checks the output
+// is Chrome trace-event JSON whose slices carry the run's span names.
+func TestFlightExport(t *testing.T) {
+	trace := writeRingTrace(t)
+	flight := filepath.Join(t.TempDir(), "run.json")
+	detectOut(t, "-trace", trace, "-pred", "sum(tokens) == 2", "-flight", flight)
+	raw, err := os.ReadFile(flight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("flight output does not parse: %v\n%s", err, raw)
+	}
+	var slices int
+	for i, ev := range doc.TraceEvents {
+		for _, field := range []string{"ph", "name", "pid"} {
+			if _, ok := ev[field]; !ok {
+				t.Fatalf("event %d missing %q: %v", i, field, ev)
+			}
+		}
+		if ev["ph"] == "X" {
+			slices++
+			if _, ok := ev["ts"]; !ok {
+				t.Fatalf("slice %d missing ts: %v", i, ev)
+			}
+		}
+	}
+	if slices == 0 {
+		t.Fatalf("no span slices in flight output: %s", raw)
+	}
+
+	if err := run([]string{"-trace", trace, "-pred", "sum(tokens) == 2",
+		"-flight", filepath.Join(t.TempDir(), "missing", "dir.json")},
+		strings.NewReader(""), io.Discard); err == nil {
+		t.Fatal("want error for unwritable -flight path")
 	}
 }

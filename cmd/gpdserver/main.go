@@ -12,8 +12,14 @@
 // examples/streamclient is a ready-made load generator and correctness
 // checker. The -stats listener serves expvar-style JSON at /debug/vars
 // with per-shard and per-session counters, Prometheus text exposition at
-// /metrics, and (with -pprof) the net/http/pprof profiling endpoints
-// under /debug/pprof/.
+// /metrics, the flight-recorder ring at /debug/flight (?format=json or
+// ?format=chrome for a Perfetto-loadable trace), and (with -pprof) the
+// net/http/pprof profiling endpoints under /debug/pprof/.
+//
+// Logs are structured (log/slog): -log-format selects text or json,
+// -log-level the threshold. The -slo-* flags arm the watchdog: a breach
+// bumps slo_breaches_total{rule=...}, is logged at warn level, and —
+// with -slo-dump — writes the flight ring to a file once per rule.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -54,15 +61,59 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 	idle := fs.Duration("idle-timeout", 5*time.Minute, "disconnect peers silent for this long (0: never)")
 	write := fs.Duration("write-timeout", 30*time.Second, "per-reply write deadline (0: none)")
 	withPprof := fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the -stats listener")
+	logLevel := fs.String("log-level", "info", "log threshold: debug, info, warn or error")
+	logFormat := fs.String("log-format", "text", "log encoding: text or json")
+	flightCap := fs.Int("flight", 4096, "flight-recorder ring capacity in records (0: disabled)")
+	sloVerdict := fs.Duration("slo-verdict-latency", 0, "SLO: max open-to-verdict latency per session (0: off)")
+	sloHoldback := fs.Int("slo-holdback", 0, "SLO: max per-session holdback depth in events (0: off)")
+	sloMailbox := fs.Int("slo-mailbox", 0, "SLO: max per-shard mailbox backlog in frames (0: off)")
+	sloShed := fs.Uint64("slo-shed", 0, "SLO: max shed frames engine-wide (0: off)")
+	sloDump := fs.String("slo-dump", "", "file to dump the flight ring to on SLO breach (once per rule)")
+	sloDumpFormat := fs.String("slo-dump-format", "json", "breach dump encoding: json or chrome")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *withPprof && *statsAddr == "" {
 		return errors.New("-pprof needs -stats to serve on")
 	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("bad -log-level %q: %w", *logLevel, err)
+	}
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(stdout, &slog.HandlerOptions{Level: level})
+	case "json":
+		handler = slog.NewJSONHandler(stdout, &slog.HandlerOptions{Level: level})
+	default:
+		return fmt.Errorf("unknown -log-format %q (want text or json)", *logFormat)
+	}
+	logger := slog.New(handler)
+	if *sloDumpFormat != "json" && *sloDumpFormat != "chrome" {
+		return fmt.Errorf("unknown -slo-dump-format %q (want json or chrome)", *sloDumpFormat)
+	}
 
 	metrics := obs.NewRegistry()
-	cfg := stream.Config{Shards: *shards, QueueLen: *queue, BatchSize: *batch, Metrics: metrics}
+	var flight *obs.Flight
+	if *flightCap > 0 {
+		flight = obs.NewFlight(*flightCap)
+	}
+	cfg := stream.Config{
+		Shards: *shards, QueueLen: *queue, BatchSize: *batch,
+		Metrics: metrics, Flight: flight,
+		SLO: stream.SLOConfig{
+			VerdictLatency: *sloVerdict,
+			HoldbackDepth:  *sloHoldback,
+			MailboxDepth:   *sloMailbox,
+			ShedFrames:     *sloShed,
+			DumpPath:       *sloDump,
+			DumpFormat:     *sloDumpFormat,
+			OnBreach: func(rule, detail, path string) {
+				logger.Warn("slo breach", "rule", rule, "detail", detail, "dump", path)
+			},
+		},
+	}
 	switch *policy {
 	case "backpressure":
 		cfg.Policy = stream.Backpressure
@@ -75,13 +126,15 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 	eng := stream.NewEngine(cfg)
 	defer eng.Shutdown()
 	srv, err := stream.ListenAndServe(*addr, eng,
-		stream.WithServerIdleTimeout(*idle), stream.WithServerWriteTimeout(*write))
+		stream.WithServerIdleTimeout(*idle), stream.WithServerWriteTimeout(*write),
+		stream.WithServerLogger(logger), stream.WithServerFlight(flight))
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
-	fmt.Fprintf(stdout, "gpdserver listening on %s (%d shards, %s)\n",
-		srv.Addr(), cfg.Shards, cfg.Policy)
+	logger.Info("listening",
+		"addr", srv.Addr(), "shards", cfg.Shards, "policy", cfg.Policy.String(),
+		"flight", *flightCap)
 
 	var stats *http.Server
 	statsErr := make(chan error, 1)
@@ -90,15 +143,16 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 		if err != nil {
 			return fmt.Errorf("stats listen: %w", err)
 		}
-		stats = &http.Server{Handler: statsHandler(eng, metrics, *withPprof)}
+		stats = &http.Server{Handler: statsHandler(eng, metrics, flight, *withPprof)}
 		go func() { statsErr <- stats.Serve(ln) }()
-		fmt.Fprintf(stdout, "stats on http://%s/debug/vars\n", ln.Addr())
-		fmt.Fprintf(stdout, "metrics on http://%s/metrics\n", ln.Addr())
+		logger.Info("stats", "url", fmt.Sprintf("http://%s/debug/vars", ln.Addr()))
+		logger.Info("metrics", "url", fmt.Sprintf("http://%s/metrics", ln.Addr()))
+		logger.Info("flight", "url", fmt.Sprintf("http://%s/debug/flight", ln.Addr()))
 	}
 
 	select {
 	case <-stop:
-		fmt.Fprintln(stdout, "gpdserver: shutting down")
+		logger.Info("shutting down")
 	case err := <-statsErr:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return fmt.Errorf("stats server: %w", err)
@@ -112,9 +166,10 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 
 // statsHandler serves the engine's stats surface: expvar-style JSON at
 // /debug/vars (one top-level map with a "gpdserver" variable holding the
-// snapshot), Prometheus text exposition at /metrics, and optionally the
+// snapshot), Prometheus text exposition at /metrics, the flight ring at
+// /debug/flight (?format=json|chrome), and optionally the
 // net/http/pprof endpoints under /debug/pprof/.
-func statsHandler(eng *stream.Engine, metrics *obs.Registry, withPprof bool) http.Handler {
+func statsHandler(eng *stream.Engine, metrics *obs.Registry, flight *obs.Flight, withPprof bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -125,6 +180,20 @@ func statsHandler(eng *stream.Engine, metrics *obs.Registry, withPprof bool) htt
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		metrics.WritePrometheus(w, "gpd")
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		// A nil recorder (-flight 0) still answers, with an empty ring.
+		switch format := r.URL.Query().Get("format"); format {
+		case "", "json":
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			flight.WriteJSON(w)
+		case "chrome":
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			flight.WriteChromeTrace(w)
+		default:
+			http.Error(w, fmt.Sprintf("unknown format %q (want json or chrome)", format),
+				http.StatusBadRequest)
+		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")

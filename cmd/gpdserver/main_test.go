@@ -6,10 +6,12 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"github.com/distributed-predicates/gpd/internal/obs"
 	"github.com/distributed-predicates/gpd/internal/stream"
 )
 
@@ -32,17 +34,17 @@ func TestRunServesAndShutsDown(t *testing.T) {
 			break
 		}
 		line := sc.Text()
-		if rest, ok := strings.CutPrefix(line, "gpdserver listening on "); ok {
-			addr = strings.Fields(rest)[0]
+		if v := slogValue(line, "listening", "addr"); v != "" {
+			addr = v
 		}
-		if rest, ok := strings.CutPrefix(line, "stats on "); ok {
-			statsURL = rest
+		if v := slogValue(line, "stats", "url"); v != "" {
+			statsURL = v
 		}
 	}
 	if addr == "" || statsURL == "" {
 		t.Fatalf("startup lines not seen (addr=%q stats=%q)", addr, statsURL)
 	}
-	go io.Copy(io.Discard, pr) // keep draining so shutdown prints don't block
+	go io.Copy(io.Discard, pr) // keep draining so shutdown logs don't block
 
 	cl, err := stream.Dial(addr)
 	if err != nil {
@@ -102,6 +104,29 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-pprof"}, io.Discard, nil); err == nil {
 		t.Fatal("want error for -pprof without -stats")
 	}
+	if err := run([]string{"-log-level", "loud"}, io.Discard, nil); err == nil {
+		t.Fatal("want error for unknown log level")
+	}
+	if err := run([]string{"-log-format", "xml"}, io.Discard, nil); err == nil {
+		t.Fatal("want error for unknown log format")
+	}
+	if err := run([]string{"-slo-dump-format", "pcap"}, io.Discard, nil); err == nil {
+		t.Fatal("want error for unknown dump format")
+	}
+}
+
+// slogValue extracts a key=value attribute from a slog text-format line
+// carrying the given message (startup values never contain spaces).
+func slogValue(line, msg, key string) string {
+	if !strings.Contains(line, "msg="+msg+" ") && !strings.HasSuffix(line, "msg="+msg) {
+		return ""
+	}
+	for _, f := range strings.Fields(line) {
+		if v, ok := strings.CutPrefix(f, key+"="); ok {
+			return v
+		}
+	}
+	return ""
 }
 
 // TestMetricsEndpoint boots the server with -pprof, drives one session,
@@ -117,21 +142,24 @@ func TestMetricsEndpoint(t *testing.T) {
 	}()
 
 	sc := bufio.NewScanner(pr)
-	var addr, metricsURL string
-	for addr == "" || metricsURL == "" {
+	var addr, metricsURL, flightURL string
+	for addr == "" || metricsURL == "" || flightURL == "" {
 		if !sc.Scan() {
 			break
 		}
 		line := sc.Text()
-		if rest, ok := strings.CutPrefix(line, "gpdserver listening on "); ok {
-			addr = strings.Fields(rest)[0]
+		if v := slogValue(line, "listening", "addr"); v != "" {
+			addr = v
 		}
-		if rest, ok := strings.CutPrefix(line, "metrics on "); ok {
-			metricsURL = rest
+		if v := slogValue(line, "metrics", "url"); v != "" {
+			metricsURL = v
+		}
+		if v := slogValue(line, "flight", "url"); v != "" {
+			flightURL = v
 		}
 	}
-	if addr == "" || metricsURL == "" {
-		t.Fatalf("startup lines not seen (addr=%q metrics=%q)", addr, metricsURL)
+	if addr == "" || metricsURL == "" || flightURL == "" {
+		t.Fatalf("startup lines not seen (addr=%q metrics=%q flight=%q)", addr, metricsURL, flightURL)
 	}
 	go io.Copy(io.Discard, pr)
 
@@ -172,7 +200,128 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Error("pprof cmdline endpoint not serving")
 	}
 
+	// Flight endpoint: the session's lifecycle is in the ring, and the
+	// chrome view parses as trace-event JSON.
+	var fs obs.FlightSnapshot
+	if err := json.Unmarshal([]byte(httpGet(t, flightURL)), &fs); err != nil {
+		t.Fatalf("/debug/flight does not parse: %v", err)
+	}
+	if len(fs.Records) == 0 {
+		t.Error("/debug/flight has no records after a session ran")
+	}
+	var chrome struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, flightURL+"?format=chrome")), &chrome); err != nil {
+		t.Fatalf("/debug/flight?format=chrome does not parse: %v", err)
+	}
+	if len(chrome.TraceEvents) == 0 {
+		t.Error("/debug/flight?format=chrome has no events")
+	}
+	if resp, err := http.Get(flightURL + "?format=bogus"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bogus format: status %d, want 400", resp.StatusCode)
+		}
+	}
+
 	stop <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not shut down on signal")
+	}
+}
+
+// TestSLOBreachLoggedAndDumped arms a 1ns verdict-latency budget, runs
+// one detecting session, and checks the warn log names the rule and
+// dump path, the dump file appears, and the breach counter is exported.
+func TestSLOBreachLoggedAndDumped(t *testing.T) {
+	dump := filepath.Join(t.TempDir(), "flight.json")
+	pr, pw := io.Pipe()
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		err := run([]string{
+			"-addr", "127.0.0.1:0", "-stats", "127.0.0.1:0",
+			"-slo-verdict-latency", "1ns", "-slo-dump", dump,
+		}, pw, stop)
+		pw.CloseWithError(err)
+		done <- err
+	}()
+
+	sc := bufio.NewScanner(pr)
+	var addr, metricsURL string
+	for addr == "" || metricsURL == "" {
+		if !sc.Scan() {
+			break
+		}
+		line := sc.Text()
+		if v := slogValue(line, "listening", "addr"); v != "" {
+			addr = v
+		}
+		if v := slogValue(line, "metrics", "url"); v != "" {
+			metricsURL = v
+		}
+	}
+	if addr == "" || metricsURL == "" {
+		t.Fatalf("startup lines not seen (addr=%q metrics=%q)", addr, metricsURL)
+	}
+	breachLine := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			if line := sc.Text(); strings.Contains(line, `msg="slo breach"`) {
+				select {
+				case breachLine <- line:
+				default:
+				}
+			}
+		}
+	}()
+
+	cl, err := stream.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Open("slo", stream.Spec{Kind: stream.Conjunctive, Procs: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Append("slo", []stream.Event{
+		{Proc: 0, VC: []int64{1, 0}, Truth: true},
+		{Proc: 1, VC: []int64{0, 1}, Truth: true},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case line := <-breachLine:
+		if !strings.Contains(line, "rule=verdict_latency") || !strings.Contains(line, "dump="+dump) {
+			t.Errorf("breach log missing rule or dump path: %q", line)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no slo breach logged within 5s")
+	}
+	var fs obs.FlightSnapshot
+	raw, err := os.ReadFile(dump)
+	if err != nil {
+		t.Fatalf("breach dump not written: %v", err)
+	}
+	if err := json.Unmarshal(raw, &fs); err != nil || len(fs.Records) == 0 {
+		t.Fatalf("breach dump unusable (err %v, %d records)", err, len(fs.Records))
+	}
+	if body := httpGet(t, metricsURL); !strings.Contains(body,
+		`gpd_slo_breaches_total{rule="verdict_latency"} 1`) {
+		t.Errorf("metrics missing breach counter:\n%s", body)
+	}
+
+	stop <- os.Interrupt
+	go io.Copy(io.Discard, pr)
 	select {
 	case err := <-done:
 		if err != nil {

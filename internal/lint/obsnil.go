@@ -12,7 +12,7 @@ import (
 // are enabled.
 var obsHandles = map[string]bool{
 	"Counter": true, "Gauge": true, "Histogram": true,
-	"Registry": true, "Trace": true, "Span": true,
+	"Registry": true, "Trace": true, "Span": true, "Flight": true,
 }
 
 // AnalyzerObsNil enforces the nil-safe usage discipline of obs handles

@@ -33,6 +33,26 @@ func (g *Gauge) Set(n int64) {
 	g.V = n
 }
 
+// Flight is a nil-safe flight-recorder handle.
+type Flight struct{ N int }
+
+// Record appends one record.
+func (f *Flight) Record(stage string) {
+	if f == nil {
+		return
+	}
+	f.N++
+}
+
+// NextSeq issues a sequence number.
+func (f *Flight) NextSeq() int {
+	if f == nil {
+		return 0
+	}
+	f.N++
+	return f.N
+}
+
 // Registry interns named metrics.
 type Registry struct{ counters map[string]*Counter }
 

@@ -11,3 +11,13 @@ func Bad(c *obs.Counter, g *obs.Gauge) int64 {
 	}
 	return v + cc.V // want `field access on obs handle cc`
 }
+
+// BadFlight exercises the same misuses against the flight recorder.
+func BadFlight(f *obs.Flight) int {
+	n := f.N      // want `field access on obs handle f`
+	if f != nil { // want `redundant nil guard`
+		f.Record("recv")
+		f.Record("delivered")
+	}
+	return n
+}

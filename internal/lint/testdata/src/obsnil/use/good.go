@@ -17,3 +17,12 @@ func Good(c *obs.Counter, r *obs.Registry) int64 {
 	}
 	return 0
 }
+
+// GoodFlight records unconditionally — the handle is nil-safe — and may
+// branch on the sequence number it got back.
+func GoodFlight(f *obs.Flight) {
+	f.Record("recv")
+	if seq := f.NextSeq(); seq > 0 {
+		f.Record("delivered")
+	}
+}

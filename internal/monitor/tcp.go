@@ -6,10 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
 
+	"github.com/distributed-predicates/gpd/internal/obs"
 	"github.com/distributed-predicates/gpd/internal/vclock"
 )
 
@@ -38,6 +40,8 @@ type Server struct {
 
 	idleTimeout  time.Duration // max silence before a peer is disconnected
 	writeTimeout time.Duration // max stall writing a status reply
+	logger       *slog.Logger
+	flight       *obs.Flight
 
 	mu        sync.Mutex
 	conns     map[net.Conn]struct{}
@@ -64,6 +68,29 @@ func WithWriteTimeout(d time.Duration) Option {
 	return func(s *Server) { s.writeTimeout = d }
 }
 
+// WithLogger routes the server's structured connection-lifecycle logs
+// (debug level) to l; the default discards them.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) {
+		if l != nil {
+			s.logger = l
+		}
+	}
+}
+
+// WithFlight leaves per-observation lifecycle records in the flight
+// recorder (shard -1: the checker is unsharded, so its records land on
+// the transport track).
+func WithFlight(f *obs.Flight) Option {
+	return func(s *Server) { s.flight = f }
+}
+
+// discardLogger rejects every record at the level gate, so disabled
+// logging costs one Enabled call.
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+}
+
 // ListenAndServe starts a checker server on addr (e.g. "127.0.0.1:0") for
 // n processes and the given involved set. Close releases it.
 func ListenAndServe(addr string, n int, involved []int, opts ...Option) (*Server, error) {
@@ -75,6 +102,7 @@ func ListenAndServe(addr string, n int, involved []int, opts ...Option) (*Server
 		mon:          New(n, involved),
 		ln:           ln,
 		writeTimeout: 30 * time.Second,
+		logger:       discardLogger(),
 		conns:        make(map[net.Conn]struct{}),
 		done:         make(chan struct{}),
 	}
@@ -144,26 +172,38 @@ func (s *Server) acceptLoop() {
 }
 
 func (s *Server) serve(conn net.Conn) {
+	peer := conn.RemoteAddr().String()
+	s.logger.Debug("probe connected", "peer", peer)
 	defer s.wg.Done()
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		conn.Close()
+		s.flight.Record(obs.FlightRecord{
+			Session: peer, Shard: -1, Proc: -1,
+			Stage: obs.StageDisconnect, Detail: "probe disconnected",
+		})
+		s.logger.Debug("probe disconnected", "peer", peer)
 	}()
 	dec := json.NewDecoder(bufio.NewReader(conn))
 	enc := json.NewEncoder(conn)
+	announced := false // first Detected=true reply on this connection
 	for {
 		if s.idleTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
 		}
-		var obs wireObservation
-		if err := dec.Decode(&obs); err != nil {
+		var wobs wireObservation
+		if err := dec.Decode(&wobs); err != nil {
 			return // EOF, deadline or broken connection: the probe is done
 		}
+		s.flight.Record(obs.FlightRecord{
+			Seq: s.flight.NextSeq(), Session: peer, Shard: -1, Proc: wobs.Proc,
+			Stage: obs.StageRecv, Detail: "observation",
+		})
 		// Forward into the checker goroutine.
 		select {
-		case s.mon.obs <- observation{proc: obs.Proc, vc: obs.VC}:
+		case s.mon.obs <- observation{proc: wobs.Proc, vc: wobs.VC}:
 		case <-s.mon.stop:
 			return
 		}
@@ -177,6 +217,14 @@ func (s *Server) serve(conn net.Conn) {
 			st.Detected = true
 			st.Witness = s.mon.Witness()
 		default:
+		}
+		if st.Detected && !announced {
+			announced = true
+			s.flight.Record(obs.FlightRecord{
+				Session: peer, Shard: -1, Proc: wobs.Proc,
+				Stage: obs.StageVerdict, Detail: "detection announced",
+			})
+			s.logger.Info("detection announced", "peer", peer, "proc", wobs.Proc)
 		}
 		if s.writeTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))

@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFlightRingOrderAndWrap(t *testing.T) {
+	f := NewFlight(4)
+	for i := 1; i <= 6; i++ {
+		f.Record(FlightRecord{Seq: uint64(i), Session: "s", Stage: StageRecv})
+	}
+	snap := f.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("retained %d records, want 4", len(snap))
+	}
+	for i, r := range snap {
+		if want := uint64(i + 3); r.Seq != want {
+			t.Errorf("record %d seq = %d, want %d (oldest overwritten first)", i, r.Seq, want)
+		}
+		if r.TS == 0 {
+			t.Errorf("record %d has no timestamp", i)
+		}
+	}
+	d := f.Dump()
+	if d.Capacity != 4 || d.Total != 6 || d.Dropped != 2 {
+		t.Errorf("dump = cap %d total %d dropped %d, want 4/6/2", d.Capacity, d.Total, d.Dropped)
+	}
+}
+
+func TestFlightSeq(t *testing.T) {
+	f := NewFlight(8)
+	if a, b := f.NextSeq(), f.NextSeq(); a != 1 || b != 2 {
+		t.Errorf("NextSeq = %d, %d, want 1, 2", a, b)
+	}
+}
+
+func TestFlightNilSafety(t *testing.T) {
+	var f *Flight
+	if f.NextSeq() != 0 {
+		t.Error("nil NextSeq != 0")
+	}
+	f.Record(FlightRecord{Seq: 1, Stage: StageRecv})
+	if f.Snapshot() != nil {
+		t.Error("nil Snapshot != nil")
+	}
+	var b bytes.Buffer
+	if err := f.WriteJSON(&b); err != nil {
+		t.Fatalf("nil WriteJSON: %v", err)
+	}
+	var snap FlightSnapshot
+	if err := json.Unmarshal(b.Bytes(), &snap); err != nil {
+		t.Fatalf("nil WriteJSON output: %v", err)
+	}
+	if len(snap.Records) != 0 {
+		t.Errorf("nil recorder dumped %d records", len(snap.Records))
+	}
+	b.Reset()
+	if err := f.WriteChromeTrace(&b); err != nil {
+		t.Fatalf("nil WriteChromeTrace: %v", err)
+	}
+}
+
+func TestFlightJSONRoundTrip(t *testing.T) {
+	f := NewFlight(16)
+	f.Record(FlightRecord{Seq: 1, Session: "app", Shard: 2, Proc: 3, Stage: StageRecv, Detail: "64 events"})
+	var b bytes.Buffer
+	if err := f.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var snap FlightSnapshot
+	if err := json.Unmarshal(b.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Records) != 1 {
+		t.Fatalf("records = %+v", snap.Records)
+	}
+	r := snap.Records[0]
+	if r.Seq != 1 || r.Session != "app" || r.Shard != 2 || r.Proc != 3 ||
+		r.Stage != StageRecv || r.Detail != "64 events" || r.TS == 0 {
+		t.Errorf("round-tripped record = %+v", r)
+	}
+}
+
+// TestFlightChromeTrace checks the exporter's schema: every event has
+// ph/ts/pid/tid, instant events are named after their record's stage on
+// the thread named after its session, and a held→delivered pair renders
+// a holdback duration slice.
+func TestFlightChromeTrace(t *testing.T) {
+	f := NewFlight(16)
+	f.Record(FlightRecord{Seq: 7, Session: "app-1", Shard: 0, Proc: 2, Stage: StageRecv, TS: 1000})
+	f.Record(FlightRecord{Seq: 7, Session: "app-1", Shard: 0, Proc: 2, Stage: StageHeld, TS: 2000})
+	f.Record(FlightRecord{Seq: 7, Session: "app-1", Shard: 0, Proc: 2, Stage: StageDelivered, TS: 5000})
+	f.Record(FlightRecord{Seq: 8, Session: "app-2", Shard: 1, Proc: -1, Stage: StageShed, TS: 6000})
+
+	var b bytes.Buffer
+	if err := f.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	evs, threads := decodeChrome(t, b.Bytes())
+
+	var stages []string
+	var holdback bool
+	for _, ev := range evs {
+		ph := ev["ph"].(string)
+		if ph == "M" {
+			continue
+		}
+		tid := int(ev["tid"].(float64))
+		switch ph {
+		case "i":
+			stages = append(stages, ev["name"].(string))
+			args := ev["args"].(map[string]any)
+			if want := args["session"].(string); threads[tid] != want {
+				t.Errorf("instant %q on thread %q, want session %q", ev["name"], threads[tid], want)
+			}
+		case "X":
+			if ev["name"] != "holdback" {
+				t.Errorf("unexpected slice %q", ev["name"])
+				continue
+			}
+			holdback = true
+			if ts, dur := ev["ts"].(float64), ev["dur"].(float64); ts != 2 || dur != 3 {
+				t.Errorf("holdback slice ts=%v dur=%v, want 2µs/3µs", ts, dur)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ph)
+		}
+	}
+	if want := []string{"recv", "held", "delivered", "shed"}; strings.Join(stages, ",") != strings.Join(want, ",") {
+		t.Errorf("instant stages = %v, want %v", stages, want)
+	}
+	if !holdback {
+		t.Error("no holdback duration slice emitted")
+	}
+}
+
+// decodeChrome parses a trace-event JSON document, requires ph/ts/pid/tid
+// on every event, and returns the events plus the tid -> thread-name map.
+func decodeChrome(t *testing.T, raw []byte) (evs []map[string]any, threads map[int]string) {
+	t.Helper()
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("chrome trace does not parse: %v\n%s", err, raw)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+	threads = make(map[int]string)
+	for i, ev := range doc.TraceEvents {
+		for _, field := range []string{"ph", "ts", "pid", "name"} {
+			if _, ok := ev[field]; !ok {
+				t.Fatalf("event %d missing %q: %v", i, field, ev)
+			}
+		}
+		if ev["ph"] == "M" {
+			if ev["name"] == "thread_name" {
+				threads[int(ev["tid"].(float64))] = ev["args"].(map[string]any)["name"].(string)
+			}
+			continue
+		}
+		if _, ok := ev["tid"]; !ok {
+			t.Fatalf("event %d missing tid: %v", i, ev)
+		}
+	}
+	return doc.TraceEvents, threads
+}
+
+// TestReportChromeTrace exports a span tree (one span left open) and
+// checks the slices position by start time and flag the open span.
+func TestReportChromeTrace(t *testing.T) {
+	tr := NewTrace()
+	endOuter := tr.Span("detect")
+	tr.Span("stuck") // never closed
+	time.Sleep(2 * time.Millisecond)
+	endOuter()
+	var b bytes.Buffer
+	if err := tr.Report().WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	evs, _ := decodeChrome(t, b.Bytes())
+	byName := map[string]map[string]any{}
+	for _, ev := range evs {
+		if ev["ph"] == "X" {
+			byName[ev["name"].(string)] = ev
+		}
+	}
+	outer, ok := byName["detect"]
+	if !ok {
+		t.Fatalf("no detect slice in %v", evs)
+	}
+	stuck, ok := byName["stuck"]
+	if !ok {
+		t.Fatalf("no stuck slice in %v", evs)
+	}
+	if outer["ts"].(float64) > stuck["ts"].(float64) {
+		t.Errorf("outer starts at %v after inner %v", outer["ts"], stuck["ts"])
+	}
+	if outer["dur"].(float64) <= 0 || stuck["dur"].(float64) <= 0 {
+		t.Errorf("durations: outer %v stuck %v", outer["dur"], stuck["dur"])
+	}
+	if open, _ := stuck["args"].(map[string]any)["open"].(bool); !open {
+		t.Errorf("open span not flagged: %v", stuck)
+	}
+}
+
+func TestShardName(t *testing.T) {
+	for shard, want := range map[int]string{-1: "transport", 0: "shard 0", 12: "shard 12"} {
+		if got := shardName(shard); got != want {
+			t.Errorf("shardName(%d) = %q, want %q", shard, got, want)
+		}
+	}
+}
+
+// TestFlightConcurrent hammers one recorder from many goroutines; run
+// under -race this is the lock-discipline regression test.
+func TestFlightConcurrent(t *testing.T) {
+	f := NewFlight(64)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				f.Record(FlightRecord{Seq: f.NextSeq(), Session: fmt.Sprintf("g%d", g), Stage: StageRecv})
+				if i%100 == 0 {
+					f.Snapshot()
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if d := f.Dump(); d.Total != 2000 || len(d.Records) != 64 {
+		t.Errorf("dump total=%d retained=%d, want 2000/64", d.Total, len(d.Records))
+	}
+}

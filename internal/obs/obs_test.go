@@ -116,6 +116,42 @@ func TestTraceSpansAndCounters(t *testing.T) {
 	}
 }
 
+// TestTraceOpenSpans is the regression test for spans whose closer never
+// runs: before Start/Open were recorded, such a span reported a silent
+// zero duration indistinguishable from "instantaneous".
+func TestTraceOpenSpans(t *testing.T) {
+	tr := NewTrace()
+	endDone := tr.Span("finished")
+	endDone()
+	tr.Span("stuck") // closer discarded: the phase hung
+	time.Sleep(time.Millisecond)
+	rep := tr.Report()
+	if len(rep.Spans) != 2 {
+		t.Fatalf("spans = %+v", rep.Spans)
+	}
+	done, stuck := rep.Spans[0], rep.Spans[1]
+	if done.Open {
+		t.Errorf("closed span marked open: %+v", done)
+	}
+	if !stuck.Open {
+		t.Errorf("un-ended span not marked open: %+v", stuck)
+	}
+	if stuck.Start.IsZero() || stuck.Duration < time.Millisecond {
+		t.Errorf("open span start=%v duration=%v, want start set and duration >= 1ms",
+			stuck.Start, stuck.Duration)
+	}
+	if !strings.Contains(rep.String(), "stuck") || !strings.Contains(rep.String(), "(open)") {
+		t.Errorf("report does not flag the open span:\n%s", rep.String())
+	}
+	// The report is a copy: a second report later must measure a longer
+	// duration, not mutate the first.
+	time.Sleep(time.Millisecond)
+	if rep2 := tr.Report(); rep2.Spans[1].Duration <= stuck.Duration {
+		t.Errorf("open-span duration did not advance: %v then %v",
+			stuck.Duration, rep2.Spans[1].Duration)
+	}
+}
+
 func TestWritePrometheus(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("events_total").Add(42)

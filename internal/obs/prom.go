@@ -9,7 +9,9 @@ import (
 
 // Label renders a labeled metric name, e.g. Label("events_total",
 // "shard", "3") -> `events_total{shard="3"}`. Labeled variants of one base
-// name share a TYPE line in the Prometheus exposition.
+// name share a TYPE line in the Prometheus exposition. Values are escaped
+// per the exposition rules, so session ids and file paths are safe label
+// values.
 func Label(name string, kv ...string) string {
 	if len(kv) == 0 {
 		return name
@@ -21,9 +23,38 @@ func Label(name string, kv ...string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text
+// exposition format (0.0.4): backslash, double quote and newline only.
+// Go's %q escaping diverges — it would also escape tabs, control bytes
+// and non-ASCII runes into sequences the exposition parser rejects, so
+// every other byte passes through literally.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
 	return b.String()
 }
 

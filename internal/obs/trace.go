@@ -27,16 +27,18 @@ type Trace struct {
 func NewTrace() *Trace { return &Trace{} }
 
 // Span opens a named wall-time span and returns its closer. Spans nest:
-// depth is the number of enclosing spans still open at start time.
+// depth is the number of enclosing spans still open at start time. A
+// span whose closer is never called is not lost: Report marks it Open
+// and measures its duration up to the report.
 func (t *Trace) Span(name string) func() {
 	if t == nil {
 		return func() {}
 	}
 	t.mu.Lock()
 	idx := len(t.spans)
-	t.spans = append(t.spans, SpanReport{Name: name, Depth: len(t.open)})
-	t.open = append(t.open, idx)
 	start := time.Now()
+	t.spans = append(t.spans, SpanReport{Name: name, Depth: len(t.open), Start: start})
+	t.open = append(t.open, idx)
 	t.mu.Unlock()
 	return func() {
 		d := time.Since(start)
@@ -105,11 +107,16 @@ func (t *Trace) Counter(name string) int64 {
 	return t.counters[name]
 }
 
-// SpanReport is one completed (or still-open, Duration zero) span.
+// SpanReport is one span of a run. A span whose closer had not run when
+// the report was taken is marked Open, with Duration measured from Start
+// to the report (it used to read as a silent zero). Start also positions
+// the span on a timeline, which is what the Chrome-trace export needs.
 type SpanReport struct {
 	Name     string        `json:"name"`
 	Depth    int           `json:"depth"`
+	Start    time.Time     `json:"start"`
 	Duration time.Duration `json:"duration_ns"`
+	Open     bool          `json:"open,omitempty"`
 }
 
 // Report is the copied-out work report of a run.
@@ -130,6 +137,10 @@ func (t *Trace) Report() Report {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	r := Report{Spans: append([]SpanReport(nil), t.spans...)}
+	for _, idx := range t.open {
+		r.Spans[idx].Open = true
+		r.Spans[idx].Duration = time.Since(r.Spans[idx].Start)
+	}
 	if len(t.counters) > 0 {
 		r.Counters = make(map[string]int64, len(t.counters))
 		for k, v := range t.counters {
@@ -150,8 +161,12 @@ func (t *Trace) Report() Report {
 func (r Report) String() string {
 	var b strings.Builder
 	for _, s := range r.Spans {
-		fmt.Fprintf(&b, "%s%-*s %12v\n",
-			strings.Repeat("  ", s.Depth), 36-2*s.Depth, s.Name, s.Duration.Round(time.Microsecond))
+		mark := ""
+		if s.Open {
+			mark = " (open)"
+		}
+		fmt.Fprintf(&b, "%s%-*s %12v%s\n",
+			strings.Repeat("  ", s.Depth), 36-2*s.Depth, s.Name, s.Duration.Round(time.Microsecond), mark)
 	}
 	notes := make([]string, 0, len(r.Notes))
 	for k := range r.Notes {

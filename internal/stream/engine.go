@@ -39,6 +39,15 @@ type Config struct {
 	// by close-time Definitely rebuilds. A nil registry costs nothing (all
 	// metric handles are nil no-ops).
 	Metrics *obs.Registry
+	// Flight, when non-nil, is the causal flight recorder: every append
+	// frame gets a sequence number at ingress and leaves lifecycle
+	// records (recv, held, delivered, update, verdict, shed, disconnect)
+	// in the ring. A nil recorder costs one nil check per record.
+	Flight *obs.Flight
+	// SLO configures the latency/backlog watchdog; the zero value
+	// disables it. Breaches bump slo_breaches_total{rule=...} and dump
+	// the flight ring (see SLOConfig).
+	SLO SLOConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -65,6 +74,11 @@ type handle struct {
 	sess *Session // owned by the shard worker; never touched elsewhere
 
 	opened time.Time // for verdict latency
+
+	// Worker-confined flight/SLO state (never read off the worker).
+	lastSeq     uint64 // seq of the session's most recent append frame
+	heldSeq     uint64 // seq that opened the current holdback episode (0 = none)
+	sloHoldback bool   // holdback SLO latched for this session
 
 	ingested  atomic.Uint64
 	delivered atomic.Int64
@@ -99,6 +113,8 @@ type shard struct {
 	mb       *mailbox
 	sessions map[string]*handle // worker-goroutine confined
 
+	sloMailbox bool // mailbox SLO latched for this shard (worker-confined)
+
 	frames        atomic.Uint64
 	events        atomic.Uint64
 	batches       atomic.Uint64
@@ -129,22 +145,36 @@ type Engine struct {
 	wg       sync.WaitGroup
 	closed   atomic.Bool
 
+	flight *obs.Flight
+
+	// SLO watchdog state (see slo.go).
+	sloDumped    sync.Map // rule -> struct{}: rules that already dumped
+	shedTotal    atomic.Uint64
+	sloShedFired atomic.Bool
+
 	// Engine-wide registry handles (nil no-ops when metrics are off).
 	mDeliveryLag    *obs.Histogram
 	mHoldback       *obs.Histogram
 	mVerdictLatency *obs.Histogram
 	mFinalizeMillis *obs.Histogram
+	mBreaches       map[string]*obs.Counter // SLO rule -> breach counter
 }
 
 // NewEngine starts the shard pool.
 func NewEngine(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
-	e := &Engine{cfg: cfg}
+	e := &Engine{cfg: cfg, flight: cfg.Flight}
 	m := cfg.Metrics
 	e.mDeliveryLag = m.Histogram("stream_delivery_lag_events", obs.ExpBuckets(1, 12)...)
 	e.mHoldback = m.Histogram("stream_holdback_depth", obs.ExpBuckets(1, 12)...)
 	e.mVerdictLatency = m.Histogram("stream_verdict_latency_millis", obs.ExpBuckets(1, 16)...)
 	e.mFinalizeMillis = m.Histogram("stream_finalize_millis", obs.ExpBuckets(1, 16)...)
+	// Pre-interned so every rule exports an explicit zero before it
+	// first fires (scrapers can always alert on the series).
+	e.mBreaches = make(map[string]*obs.Counter, len(sloRules))
+	for _, rule := range sloRules {
+		e.mBreaches[rule] = m.Counter(obs.Label("slo_breaches_total", "rule", rule))
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		label := strconv.Itoa(i)
 		sh := &shard{
@@ -204,6 +234,13 @@ func (e *Engine) run(sh *shard) {
 				sh.mOccupancy.Observe(int64(depth))
 				sh.mDepth.Set(int64(depth))
 			}
+			if max := e.cfg.SLO.MailboxDepth; max > 0 && !sh.sloMailbox {
+				if depth, _ := sh.mb.depth(); depth > max {
+					sh.sloMailbox = true
+					e.breach(SLOMailboxDepth, "shard "+strconv.Itoa(sh.idx)+
+						": mailbox depth "+strconv.Itoa(depth)+" > "+strconv.Itoa(max))
+				}
+			}
 		}
 		for id, h := range touched {
 			delete(touched, id)
@@ -211,6 +248,10 @@ func (e *Engine) run(sh *shard) {
 				continue // closed within the batch
 			}
 			h.sess.Flush()
+			e.flight.Record(obs.FlightRecord{
+				Seq: h.lastSeq, Session: id, Shard: sh.idx, Proc: -1,
+				Stage: obs.StageUpdate, Detail: "flush " + strconv.FormatInt(int64(h.sess.Flushes()), 10),
+			})
 			e.publish(sh, h, sample)
 		}
 		if !ok {
@@ -238,11 +279,25 @@ func (e *Engine) publish(sh *shard, h *handle, sample bool) {
 	if err := s.Err(); err != nil {
 		h.errStr.Store(err.Error())
 	}
+	if max := e.cfg.SLO.HoldbackDepth; max > 0 && int(holdback) > max && !h.sloHoldback {
+		h.sloHoldback = true
+		e.breach(SLOHoldbackDepth, h.id+": holdback depth "+
+			strconv.FormatInt(holdback, 10)+" > "+strconv.Itoa(max))
+	}
 	if s.Possibly() && !h.possibly.Load() {
 		h.possibly.Store(true)
 		sh.detections.Add(1)
 		sh.mDetections.Inc()
-		e.mVerdictLatency.Observe(time.Since(h.opened).Milliseconds())
+		latency := time.Since(h.opened)
+		e.mVerdictLatency.Observe(latency.Milliseconds())
+		e.flight.Record(obs.FlightRecord{
+			Seq: h.lastSeq, Session: h.id, Shard: sh.idx, Proc: -1,
+			Stage: obs.StageVerdict, Detail: "possibly latched after " + latency.String(),
+		})
+		if max := e.cfg.SLO.VerdictLatency; max > 0 && latency > max {
+			e.breach(SLOVerdictLatency, h.id+": verdict latency "+
+				latency.String()+" > "+max.String())
+		}
 	}
 }
 
@@ -271,20 +326,20 @@ func (e *Engine) apply(sh *shard, m shardMsg, touched map[string]*handle) {
 	case msgAppend:
 		h, exists := sh.sessions[m.session]
 		if !exists {
-			sh.droppedFrames.Add(1)
-			sh.droppedEvents.Add(uint64(len(m.events)))
-			sh.mShedFrames.Inc()
-			sh.mShedEvents.Add(int64(len(m.events)))
+			e.accountShed(sh, m.session, m.seq, len(m.events), "unknown session")
 			return
 		}
 		sh.events.Add(uint64(len(m.events)))
 		sh.mEvents.Add(int64(len(m.events)))
 		h.ingested.Add(uint64(len(m.events)))
+		h.lastSeq = m.seq
+		deliveredBefore := h.sess.Delivered()
 		for _, ev := range m.events {
 			if h.sess.Step(ev) != nil {
 				break // sticky error; publish carries it to the handle
 			}
 		}
+		e.recordFrame(sh, h, m, deliveredBefore)
 		touched[m.session] = h
 	case msgQuery:
 		h, exists := sh.sessions[m.session]
@@ -316,7 +371,43 @@ func (e *Engine) apply(sh *shard, m shardMsg, touched map[string]*handle) {
 		sh.mSessions.Add(-1)
 		h.sess = nil
 		delete(touched, m.session)
+		e.flight.Record(obs.FlightRecord{
+			Seq: h.lastSeq, Session: m.session, Shard: sh.idx, Proc: -1,
+			Stage: obs.StageDisconnect, Detail: "session closed",
+		})
 		m.reply <- shardReply{verdict: verdict, err: err}
+	}
+}
+
+// recordFrame leaves an append frame's post-detector lifecycle records:
+// a delivered record when the frame advanced causal delivery, a held
+// record when it opened a holdback episode, and — when the episode
+// drains — a closing delivered record carrying the opening frame's seq,
+// which is what the Chrome export pairs into a holdback duration slice.
+func (e *Engine) recordFrame(sh *shard, h *handle, m shardMsg, deliveredBefore int64) {
+	if e.flight == nil {
+		return // skip the delta bookkeeping too, not just the records
+	}
+	if delta := h.sess.Delivered() - deliveredBefore; delta > 0 {
+		e.flight.Record(obs.FlightRecord{
+			Seq: m.seq, Session: m.session, Shard: sh.idx, Proc: -1,
+			Stage: obs.StageDelivered, Detail: strconv.FormatInt(delta, 10) + " events",
+		})
+	}
+	holdback := h.sess.Holdback()
+	if holdback > 0 && h.heldSeq == 0 {
+		h.heldSeq = m.seq
+		e.flight.Record(obs.FlightRecord{
+			Seq: m.seq, Session: m.session, Shard: sh.idx, Proc: -1,
+			Stage: obs.StageHeld, Detail: strconv.Itoa(holdback) + " events held",
+		})
+	}
+	if holdback == 0 && h.heldSeq != 0 {
+		e.flight.Record(obs.FlightRecord{
+			Seq: h.heldSeq, Session: m.session, Shard: sh.idx, Proc: -1,
+			Stage: obs.StageDelivered, Detail: "holdback drained",
+		})
+		h.heldSeq = 0
 	}
 }
 
@@ -364,10 +455,20 @@ func (e *Engine) Append(id string, events []Event) error {
 		return ErrEngineClosed
 	}
 	sh := e.shardFor(id)
-	dropped, ok := sh.mb.put(shardMsg{kind: msgAppend, session: id, events: events}, e.cfg.Policy)
+	seq := e.flight.NextSeq()
+	if e.flight != nil { // build the record (proc, detail) only when recording
+		proc := -1
+		if len(events) > 0 {
+			proc = events[0].Proc
+		}
+		e.flight.Record(obs.FlightRecord{
+			Seq: seq, Session: id, Shard: sh.idx, Proc: proc,
+			Stage: obs.StageRecv, Detail: strconv.Itoa(len(events)) + " events",
+		})
+	}
+	dropped, ok := sh.mb.put(shardMsg{kind: msgAppend, session: id, seq: seq, events: events}, e.cfg.Policy)
 	for _, d := range dropped {
-		sh.droppedFrames.Add(1)
-		sh.droppedEvents.Add(uint64(len(d.events)))
+		e.accountShed(sh, d.session, d.seq, len(d.events), "mailbox overflow")
 	}
 	if !ok {
 		return ErrEngineClosed

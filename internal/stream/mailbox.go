@@ -40,6 +40,7 @@ const (
 type shardMsg struct {
 	kind    msgKind
 	session string
+	seq     uint64 // flight-recorder frame sequence (append frames only)
 	spec    Spec
 	events  []Event
 	reply   chan shardReply // sync ops only; buffered, never blocks the worker

@@ -4,9 +4,13 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
+
+	"github.com/distributed-predicates/gpd/internal/obs"
 )
 
 // Server exposes an Engine over TCP: one length-prefixed JSON frame per
@@ -21,6 +25,8 @@ type Server struct {
 
 	idleTimeout  time.Duration
 	writeTimeout time.Duration
+	logger       *slog.Logger
+	flight       *obs.Flight
 
 	mu        sync.Mutex
 	conns     map[net.Conn]struct{}
@@ -45,6 +51,28 @@ func WithServerWriteTimeout(d time.Duration) ServerOption {
 	return func(s *Server) { s.writeTimeout = d }
 }
 
+// WithServerLogger routes the server's structured connection-lifecycle
+// logs (debug level) to l; the default discards them.
+func WithServerLogger(l *slog.Logger) ServerOption {
+	return func(s *Server) {
+		if l != nil {
+			s.logger = l
+		}
+	}
+}
+
+// WithServerFlight leaves transport-level records (connection drops,
+// with the peer address in the detail) in the flight recorder.
+func WithServerFlight(f *obs.Flight) ServerOption {
+	return func(s *Server) { s.flight = f }
+}
+
+// discardLogger is the default: a handler whose level gate rejects
+// every record, so disabled logging costs one Enabled call.
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+}
+
 // ListenAndServe starts a server for the engine on addr (e.g.
 // "127.0.0.1:0"). The engine's lifecycle stays with the caller: Close
 // stops the listener and connections but not the engine.
@@ -57,6 +85,7 @@ func ListenAndServe(addr string, eng *Engine, opts ...ServerOption) (*Server, er
 		eng:          eng,
 		ln:           ln,
 		writeTimeout: 30 * time.Second,
+		logger:       discardLogger(),
 		conns:        make(map[net.Conn]struct{}),
 		done:         make(chan struct{}),
 	}
@@ -118,12 +147,18 @@ func (s *Server) acceptLoop() {
 }
 
 func (s *Server) serve(conn net.Conn) {
+	peer := conn.RemoteAddr().String()
+	s.logger.Debug("connection accepted", "peer", peer)
 	defer s.wg.Done()
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		conn.Close()
+		s.flight.Record(obs.FlightRecord{
+			Shard: -1, Proc: -1, Stage: obs.StageDisconnect, Detail: "peer " + peer,
+		})
+		s.logger.Debug("connection closed", "peer", peer)
 	}()
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)

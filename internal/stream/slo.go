@@ -1,0 +1,131 @@
+package stream
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"github.com/distributed-predicates/gpd/internal/obs"
+)
+
+// SLO rule names: the label values of slo_breaches_total{rule=...} and
+// the identifiers passed to SLOConfig.OnBreach.
+const (
+	// SLOVerdictLatency fires when a session's verdict latches later
+	// than the threshold after the session opened.
+	SLOVerdictLatency = "verdict_latency"
+	// SLOHoldbackDepth fires when a session's causal holdback queue
+	// grows past the threshold.
+	SLOHoldbackDepth = "holdback_depth"
+	// SLOMailboxDepth fires when a shard mailbox backs up past the
+	// threshold.
+	SLOMailboxDepth = "mailbox_depth"
+	// SLOShedFrames fires when the engine has shed more frames than the
+	// threshold (mailbox overflow plus unknown-session drops).
+	SLOShedFrames = "shed_frames"
+)
+
+// sloRules lists every rule so NewEngine can pre-intern the breach
+// counters — a rule that never fires still exports an explicit zero.
+var sloRules = []string{SLOVerdictLatency, SLOHoldbackDepth, SLOMailboxDepth, SLOShedFrames}
+
+// SLOConfig is the engine's latency/backlog watchdog. A zero threshold
+// disables its rule; a zero config disables the watchdog entirely. On
+// breach the engine bumps slo_breaches_total{rule=...} and — once per
+// rule — dumps the flight-recorder ring to DumpPath, so the causal
+// history that explains the first breach survives even if the process
+// keeps degrading.
+//
+// Latching: verdict-latency and holdback rules fire at most once per
+// session, the mailbox rule once per shard, and the shed rule once per
+// engine, so a sustained breach cannot flood the counters or the logs.
+type SLOConfig struct {
+	// VerdictLatency is the open→verdict latching budget per session.
+	VerdictLatency time.Duration
+	// HoldbackDepth is the per-session holdback queue budget in events.
+	HoldbackDepth int
+	// MailboxDepth is the per-shard mailbox backlog budget in messages.
+	MailboxDepth int
+	// ShedFrames is the engine-wide shed frame budget.
+	ShedFrames uint64
+	// DumpPath is the file the flight ring is dumped to on breach (""
+	// disables dumping). The write is atomic: a temp file in the same
+	// directory, renamed into place.
+	DumpPath string
+	// DumpFormat selects the dump encoding: "json" (default) or
+	// "chrome" (trace-event JSON for Perfetto).
+	DumpFormat string
+	// OnBreach, when non-nil, is called after the counter bump with the
+	// rule name, a human-readable detail, and the dump path ("" when
+	// this breach did not write a dump). Called on the goroutine that
+	// detected the breach; keep it cheap.
+	OnBreach func(rule, detail, path string)
+}
+
+// breach accounts one SLO violation: bump the rule's counter, write the
+// flight dump if this rule has not dumped yet, then notify.
+func (e *Engine) breach(rule, detail string) {
+	e.mBreaches[rule].Inc()
+	path := ""
+	if e.cfg.SLO.DumpPath != "" {
+		if _, dumped := e.sloDumped.LoadOrStore(rule, struct{}{}); !dumped {
+			if err := e.dumpFlight(); err == nil {
+				path = e.cfg.SLO.DumpPath
+			} else if f := e.cfg.SLO.OnBreach; f != nil {
+				detail += " (flight dump failed: " + err.Error() + ")"
+			}
+		}
+	}
+	if f := e.cfg.SLO.OnBreach; f != nil {
+		f(rule, detail, path)
+	}
+}
+
+// dumpFlight writes the flight ring to SLO.DumpPath atomically
+// (temp file + rename), in the configured format.
+func (e *Engine) dumpFlight() error {
+	dst := e.cfg.SLO.DumpPath
+	tmp, err := os.CreateTemp(filepath.Dir(dst), ".flight-*")
+	if err != nil {
+		return err
+	}
+	if e.cfg.SLO.DumpFormat == "chrome" {
+		err = e.flight.WriteChromeTrace(tmp)
+	} else {
+		err = e.flight.WriteJSON(tmp)
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), dst)
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// accountShed is the single accounting point for a dropped append frame
+// (mailbox overflow or unknown session): shard atomics, shed counters,
+// a flight record, and the shed-frames SLO. The seed bumped the obs
+// counters on the unknown-session path only, so overflow drops were
+// invisible to /metrics; every drop now goes through here.
+func (e *Engine) accountShed(sh *shard, session string, seq uint64, events int, reason string) {
+	sh.droppedFrames.Add(1)
+	sh.droppedEvents.Add(uint64(events))
+	sh.mShedFrames.Inc()
+	sh.mShedEvents.Add(int64(events))
+	e.flight.Record(obs.FlightRecord{
+		Seq: seq, Session: session, Shard: sh.idx, Proc: -1,
+		Stage: obs.StageShed, Detail: reason + ", " + strconv.Itoa(events) + " events",
+	})
+	if max := e.cfg.SLO.ShedFrames; max > 0 {
+		if total := e.shedTotal.Add(1); total > max && !e.sloShedFired.Swap(true) {
+			e.breach(SLOShedFrames, "shed frames "+strconv.FormatUint(total, 10)+
+				" > "+strconv.FormatUint(max, 10))
+		}
+	}
+}
