@@ -2,13 +2,8 @@ package gpd
 
 import (
 	"fmt"
-	"sort"
 
-	"github.com/distributed-predicates/gpd/internal/conjunctive"
-	"github.com/distributed-predicates/gpd/internal/core/relsum"
-	"github.com/distributed-predicates/gpd/internal/core/singular"
-	"github.com/distributed-predicates/gpd/internal/core/symmetric"
-	"github.com/distributed-predicates/gpd/internal/lattice"
+	"github.com/distributed-predicates/gpd/internal/detect"
 	"github.com/distributed-predicates/gpd/internal/obs"
 	"github.com/distributed-predicates/gpd/internal/pred"
 )
@@ -61,41 +56,43 @@ const (
 func ParseSpec(text string) (Spec, error) { return pred.Parse(text) }
 
 // Modality selects between the weak and strong interpretation of a
-// predicate over a computation.
-type Modality int
+// predicate over a computation. It is the detector kernel's modality
+// type (internal/detect), shared with the streaming stack.
+type Modality = detect.Modality
 
 const (
 	// ModalityPossibly asks whether SOME consistent cut satisfies the
 	// predicate (the default).
-	ModalityPossibly Modality = iota + 1
+	ModalityPossibly = detect.ModalityPossibly
 	// ModalityDefinitely asks whether EVERY run passes through a
 	// satisfying cut.
-	ModalityDefinitely
+	ModalityDefinitely = detect.ModalityDefinitely
 )
-
-// String names the modality.
-func (m Modality) String() string {
-	switch m {
-	case ModalityPossibly:
-		return "possibly"
-	case ModalityDefinitely:
-		return "definitely"
-	default:
-		return fmt.Sprintf("modality(%d)", int(m))
-	}
-}
 
 // ParseModality parses "possibly" or "definitely".
 func ParseModality(s string) (Modality, error) {
-	switch s {
-	case "possibly":
-		return ModalityPossibly, nil
-	case "definitely":
-		return ModalityDefinitely, nil
-	default:
+	m, err := detect.ParseModality(s)
+	if err != nil {
 		return 0, fmt.Errorf("gpd: unknown modality %q", s)
 	}
+	return m, nil
 }
+
+// DetectStrategy selects how Detect computes its answer.
+type DetectStrategy = detect.Strategy
+
+const (
+	// StrategyBatch runs the family's offline algorithm on the sealed
+	// computation (the default).
+	StrategyBatch = detect.StrategyBatch
+	// StrategyReplay drives the family's incremental detector over a
+	// causal linearization of the computation — the same state machine
+	// the streaming server runs — and, under ModalityDefinitely, its
+	// close-time finalizer. Available only for incremental-capable
+	// families; cross-checkable against StrategyBatch. Replay runs do
+	// not construct witness cuts.
+	StrategyReplay = detect.StrategyReplay
+)
 
 // Trace collects per-run observability data: timed spans and named work
 // counters. All methods are safe on a nil *Trace (no-ops), so detectors
@@ -117,6 +114,7 @@ type Option func(*detectOptions)
 
 type detectOptions struct {
 	modality    Modality
+	route       DetectStrategy
 	strategy    SingularStrategy
 	strategySet bool
 	trace       *obs.Trace
@@ -125,6 +123,12 @@ type detectOptions struct {
 // WithModality selects the modality; the default is ModalityPossibly.
 func WithModality(m Modality) Option {
 	return func(o *detectOptions) { o.modality = m }
+}
+
+// WithDetectStrategy selects the detection route; the default is
+// StrategyBatch.
+func WithDetectStrategy(s DetectStrategy) Option {
+	return func(o *detectOptions) { o.route = s }
 }
 
 // WithStrategy selects the singular detection algorithm. It applies only
@@ -150,9 +154,9 @@ type Report struct {
 	// Holds is the verdict: Possibly(spec) or Definitely(spec).
 	Holds bool
 	// Witness, when non-nil, is a consistent cut satisfying the
-	// predicate. Produced only under ModalityPossibly, and only by the
-	// families whose detectors construct cuts (all, sum ==, count, xor,
-	// levels, inflight ==, cnf).
+	// predicate. Produced only under ModalityPossibly with
+	// StrategyBatch, and only by the families whose detectors construct
+	// cuts (all, sum ==, count, xor, levels, inflight ==, cnf).
 	Witness Cut
 	// Strategy is the singular algorithm that produced the answer
 	// (FamilyCNF under ModalityPossibly only).
@@ -161,7 +165,8 @@ type Report struct {
 	// ModalityPossibly only).
 	Combinations int
 	// Min and Max bound the tracked quantity over all consistent cuts
-	// when HasRange is set (FamilyInFlight).
+	// when HasRange is set (FamilyInFlight, and replay runs of the
+	// range-tracking families).
 	Min, Max int64
 	// HasRange reports whether Min and Max are meaningful.
 	HasRange bool
@@ -172,18 +177,22 @@ type Report struct {
 
 // Detect is the single front door for offline predicate detection: it
 // decides spec under the chosen modality on the sealed computation,
-// dispatching to the cheapest applicable detector — CPDHB for
-// conjunctions, max-weight closures for sums and channel occupancy, the
-// sum decomposition for symmetric predicates, the singular algorithms for
-// CNF — and falling back to lattice reachability where only the
-// exponential route is known (the Definitely side of sum, symmetric and
-// CNF; see the package comment).
+// resolving through the detector registry (internal/detect) to the
+// cheapest applicable algorithm — CPDHB for conjunctions, max-weight
+// closures for sums and channel occupancy, the sum decomposition for
+// symmetric predicates, the singular algorithms for CNF — and falling
+// back to lattice reachability where only the exponential route is known
+// (the Definitely side of sum, symmetric and CNF; see the package
+// comment). WithDetectStrategy(StrategyReplay) instead drives the
+// family's incremental detector — the state machine the streaming server
+// runs — over a causal linearization of the computation, cross-checkable
+// against the batch verdict.
 //
-// The zero options decide Possibly. Errors come from spec validation
-// (including against the computation's process count), option conflicts,
-// and detector preconditions such as ErrNotUnitStep.
+// The zero options decide Possibly with StrategyBatch. Errors come from
+// spec validation (including against the computation's process count),
+// option conflicts, and detector preconditions such as ErrNotUnitStep.
 func Detect(c *Computation, s Spec, opts ...Option) (Report, error) {
-	o := detectOptions{modality: ModalityPossibly, strategy: StrategyAuto}
+	o := detectOptions{modality: ModalityPossibly, route: StrategyBatch, strategy: StrategyAuto}
 	for _, opt := range opts {
 		opt(&o)
 	}
@@ -191,6 +200,11 @@ func Detect(c *Computation, s Spec, opts ...Option) (Report, error) {
 	case ModalityPossibly, ModalityDefinitely:
 	default:
 		return Report{}, fmt.Errorf("gpd: unknown modality %v", o.modality)
+	}
+	switch o.route {
+	case StrategyBatch, StrategyReplay:
+	default:
+		return Report{}, fmt.Errorf("gpd: unknown detect strategy %v", o.route)
 	}
 	if o.strategySet {
 		if s.Family != FamilyCNF {
@@ -209,128 +223,20 @@ func Detect(c *Computation, s Spec, opts ...Option) (Report, error) {
 	}
 	rep := Report{Spec: s, Modality: o.modality}
 	done := tr.Span("detect:" + s.Family.String())
-	err := dispatch(c, s, &o, tr, &rep)
+	var res detect.Result
+	var err error
+	if o.route == StrategyReplay {
+		res, err = detect.Replay(c, s, o.modality, tr)
+	} else {
+		res, err = detect.Batch(c, s, o.modality, detect.Options{Singular: o.strategy}, tr)
+	}
 	done()
 	if err != nil {
 		return Report{}, err
 	}
+	rep.Holds, rep.Witness = res.Holds, res.Witness
+	rep.Strategy, rep.Combinations = res.Strategy, res.Combinations
+	rep.Min, rep.Max, rep.HasRange = res.Min, res.Max, res.HasRange
 	rep.Work = tr.Report()
 	return rep, nil
-}
-
-func dispatch(c *Computation, s Spec, o *detectOptions, tr *obs.Trace, rep *Report) error {
-	definitely := o.modality == ModalityDefinitely
-	truth := func(e Event) bool { return c.Var(s.Var, e.ID) != 0 }
-
-	switch s.Family {
-	case FamilyConjunctive:
-		locals := make(map[ProcID]LocalPredicate, c.NumProcs())
-		for p := 0; p < c.NumProcs(); p++ {
-			locals[ProcID(p)] = truth
-		}
-		if definitely {
-			rep.Holds = conjunctive.DetectDefinitelyTraced(c, locals, tr)
-			return nil
-		}
-		res := conjunctive.DetectTraced(c, locals, tr)
-		rep.Holds, rep.Witness = res.Found, res.Cut
-		return nil
-
-	case FamilySum:
-		if definitely {
-			ok, err := relsum.DefinitelyTraced(c, s.Var, s.Rel, s.K, tr)
-			rep.Holds = ok
-			return err
-		}
-		if s.Rel == Eq {
-			ok, cut, err := relsum.PossiblyEqWitnessTraced(c, s.Var, s.K, tr)
-			rep.Holds, rep.Witness = ok, cut
-			return err
-		}
-		ok, err := relsum.PossiblyTraced(c, s.Var, s.Rel, s.K, tr)
-		rep.Holds = ok
-		return err
-
-	case FamilyCount, FamilyXor, FamilyLevels:
-		spec := symmetricSpec(c.NumProcs(), s)
-		if definitely {
-			ok, err := symmetric.DefinitelyTraced(c, spec, truth, tr)
-			rep.Holds = ok
-			return err
-		}
-		ok, cut, err := symmetric.PossiblyTraced(c, spec, truth, tr)
-		rep.Holds, rep.Witness = ok, cut
-		return err
-
-	case FamilyInFlight:
-		min, max := relsum.InFlightRangeTraced(c, tr)
-		rep.Min, rep.Max, rep.HasRange = min, max, true
-		if definitely {
-			ok, err := relsum.DefinitelyWeightedTraced(c, 0, relsum.InFlightWeight(c), s.Rel, s.K, tr)
-			rep.Holds = ok
-			return err
-		}
-		if s.Rel == Eq {
-			ok, cut, err := relsum.PossiblyQuiescentTraced(c, s.K, tr)
-			rep.Holds, rep.Witness = ok, cut
-			return err
-		}
-		rep.Holds = s.Rel.Eval(min, s.K) || s.Rel.Eval(max, s.K)
-		return nil
-
-	case FamilyCNF:
-		p := singularPredicate(s)
-		if definitely {
-			if err := p.Validate(c); err != nil {
-				return err
-			}
-			rep.Holds = lattice.DefinitelyTraced(c, func(cc *Computation, k Cut) bool {
-				return p.Holds(cc, truth, k)
-			}, tr)
-			return nil
-		}
-		res, err := singular.DetectTraced(c, p, truth, o.strategy, tr)
-		if err != nil {
-			return err
-		}
-		rep.Holds, rep.Witness = res.Found, res.Cut
-		rep.Strategy, rep.Combinations = res.Strategy, res.Combinations
-		return nil
-	}
-	return fmt.Errorf("gpd: unknown predicate family %v", s.Family)
-}
-
-// symmetricSpec builds the level-set form of the Count, Xor and Levels
-// families for a computation with n processes.
-func symmetricSpec(n int, s Spec) SymmetricSpec {
-	switch s.Family {
-	case FamilyXor:
-		return symmetric.Xor(n)
-	case FamilyCount:
-		return symmetric.FromFunc(n, func(m int) bool { return s.Rel.Eval(int64(m), s.K) })
-	default: // FamilyLevels
-		levels := append([]int(nil), s.Levels...)
-		sort.Ints(levels)
-		out := levels[:0]
-		for i, m := range levels {
-			if i == 0 || m != levels[i-1] {
-				out = append(out, m)
-			}
-		}
-		return SymmetricSpec{N: n, Levels: out}
-	}
-}
-
-// singularPredicate converts the CNF body of a spec into the singular
-// detector's representation.
-func singularPredicate(s Spec) *SingularPredicate {
-	p := &SingularPredicate{}
-	for _, cl := range s.Clauses {
-		var out SingularClause
-		for _, l := range cl {
-			out = append(out, SingularLiteral{Proc: ProcID(l.Proc), Negated: l.Negated})
-		}
-		p.Clauses = append(p.Clauses, out)
-	}
-	return p
 }

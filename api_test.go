@@ -345,19 +345,29 @@ func TestStreamSpecMatchesCanonical(t *testing.T) {
 		{stream.Spec{Kind: stream.Symmetric, Procs: 3, Levels: []int{0, 2}}, "levels(x): 0, 2"},
 	}
 	for _, tc := range cases {
-		got, err := tc.wire.Pred()
+		got, err := tc.wire.Canonical()
 		if err != nil {
-			t.Fatalf("Pred(%+v): %v", tc.wire, err)
+			t.Fatalf("Canonical(%+v): %v", tc.wire, err)
 		}
 		want, err := gpd.ParseSpec(tc.text)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !reflect.DeepEqual(got, want) {
-			t.Errorf("stream %v: Pred() = %+v, ParseSpec(%q) = %+v", tc.wire.Kind, got, tc.text, want)
+			t.Errorf("stream %v: Canonical() = %+v, ParseSpec(%q) = %+v", tc.wire.Kind, got, tc.text, want)
 		}
 		if got.String() != tc.text {
 			t.Errorf("stream %v renders %q, want %q", tc.wire.Kind, got.String(), tc.text)
+		}
+		// A wire spec carrying the same canonical grammar string converts
+		// identically — the two encodings cannot drift apart.
+		fromPred := stream.Spec{Pred: tc.text, Procs: tc.wire.Procs}
+		got2, err := fromPred.Canonical()
+		if err != nil {
+			t.Fatalf("Canonical(%+v): %v", fromPred, err)
+		}
+		if !reflect.DeepEqual(got2, want) {
+			t.Errorf("stream pred %q: Canonical() = %+v, want %+v", tc.text, got2, want)
 		}
 	}
 	// Family-shape validation is delegated to the canonical spec.

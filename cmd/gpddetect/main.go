@@ -23,8 +23,12 @@
 //	                            per-process literals "3" or "!3" joined by
 //	                            | within clauses and & between clauses
 //
-// -report appends the run's work accounting (timed spans and per-phase
-// work counters) to the verdict. -flight writes the same span tree as
+// -replay decides the predicate by driving the family's incremental
+// detector — the state machine gpdserver runs — over a causal
+// linearization of the trace instead of the batch algorithm, which makes
+// the CLI a cross-checking harness for the two routes. -report appends
+// the run's work accounting (timed spans and per-phase work counters) to
+// the verdict. -flight writes the same span tree as
 // Chrome trace-event JSON (loadable in Perfetto or chrome://tracing),
 // the format the gpdserver flight recorder also exports — an offline
 // run and a server flight dump open in the same UI.
@@ -53,6 +57,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	predText := fs.String("pred", "", "predicate (see package comment)")
 	modality := fs.String("modality", "possibly", "possibly or definitely")
 	strategy := fs.String("strategy", "auto", "singular strategy: auto, receive-ordered, send-ordered, subsets, chains")
+	replay := fs.Bool("replay", false, "decide via the incremental detector replayed over the trace (cross-checkable against the default batch route)")
 	report := fs.Bool("report", false, "print the run's work counters and timed spans")
 	flight := fs.String("flight", "", "write the run's span tree as Chrome trace-event JSON to this file")
 	if err := fs.Parse(args); err != nil {
@@ -105,6 +110,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 
 	opts := []gpd.Option{gpd.WithModality(mod)}
+	if *replay {
+		opts = append(opts, gpd.WithDetectStrategy(gpd.StrategyReplay))
+	}
 	if strategySet {
 		// Detect rejects the option for non-cnf predicates and under
 		// definitely, instead of silently ignoring it like the old CLI.

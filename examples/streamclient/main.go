@@ -1,9 +1,12 @@
 // Streamclient drives a running gpdserver: it fabricates random
 // distributed computations, streams each one as a session over TCP in a
 // causally-scrambled order, and cross-checks every online verdict against
-// the offline detectors run locally on the same trace. Exit status is
-// nonzero on any mismatch, which makes it double as the serving smoke
-// test in CI.
+// gpd.Detect run locally on the same trace — one oracle for every family,
+// resolved through the same detector registry the server uses. Sessions
+// rotate through the incremental-capable families (conjunctive, sum,
+// levels, channel occupancy), opened with canonical predicate grammar
+// strings. Exit status is nonzero on any mismatch, which makes it double
+// as the serving smoke test in CI.
 //
 //	gpdserver -addr 127.0.0.1:7400        # terminal 1
 //	go run ./examples/streamclient -addr 127.0.0.1:7400 -sessions 8
@@ -18,8 +21,8 @@ import (
 	"sync"
 	"time"
 
+	"github.com/distributed-predicates/gpd"
 	"github.com/distributed-predicates/gpd/internal/computation"
-	"github.com/distributed-predicates/gpd/internal/conjunctive"
 	"github.com/distributed-predicates/gpd/internal/core/relsum"
 	"github.com/distributed-predicates/gpd/internal/core/symmetric"
 	"github.com/distributed-predicates/gpd/internal/gen"
@@ -83,64 +86,60 @@ func run(addr string, sessions, procs, events int, seed int64, wait time.Duratio
 	return nil
 }
 
+// fabricate builds the computation, the canonical predicate, and the
+// event stream for one session. The predicate is returned as a gpd.Spec:
+// its String() form opens the session and gpd.Detect on it is the oracle.
+func fabricate(i, procs, events int, seed int64) (*computation.Computation, gpd.Spec, stream.Spec, []stream.Event, error) {
+	c := gen.Random(gen.Params{Seed: seed, Procs: procs, Events: events, MsgFrac: 0.6})
+	switch i % 4 {
+	case 0: // conjunctive
+		gen.BoolVar(seed, c, varName, 0.4)
+		for p := 0; p < procs; p++ {
+			// Online sessions take initial states as false.
+			c.SetVar(varName, c.Initial(computation.ProcID(p)).ID, 0)
+		}
+		trace, _ := stream.BoolTrace(c, varName)
+		ps := gpd.Spec{Family: gpd.FamilyConjunctive, Var: varName}
+		return c, ps, stream.Spec{Pred: ps.String(), Procs: procs, Retain: true}, trace, nil
+	case 1: // unit-step sum equality
+		gen.UnitStepVar(seed, c, varName)
+		trace, init := stream.SumTrace(c, varName)
+		lo, hi := relsum.SumRange(c, varName)
+		k := lo + seed%(hi-lo+2)
+		ps := gpd.Spec{Family: gpd.FamilySum, Var: varName, Rel: gpd.Eq, K: k}
+		return c, ps, stream.Spec{Pred: ps.String(), Procs: procs, Init: init, Retain: true}, trace, nil
+	case 2: // symmetric by level set
+		gen.BoolVar(seed, c, varName, 0.4)
+		trace, init := stream.BoolTrace(c, varName)
+		sp := symmetric.NotAllEqual(procs)
+		ps := gpd.Spec{Family: gpd.FamilyLevels, Var: varName, Levels: sp.Levels}
+		return c, ps, stream.Spec{Pred: ps.String(), Procs: procs, Init: init, Retain: true}, trace, nil
+	default: // channel occupancy
+		trace := stream.InFlightTrace(c)
+		ps := gpd.Spec{Family: gpd.FamilyInFlight, Rel: gpd.Ge, K: 1 + seed%2}
+		return c, ps, stream.Spec{Pred: ps.String(), Procs: procs, Retain: true}, trace, nil
+	}
+}
+
 // drive runs one session end to end and checks it against the oracle.
 func drive(addr string, i, procs, events int, seed int64) error {
 	rng := rand.New(rand.NewSource(seed))
-	c := gen.Random(gen.Params{Seed: seed, Procs: procs, Events: events, MsgFrac: 0.6})
-
-	var (
-		spec             stream.Spec
-		trace            []stream.Event
-		wantPos, wantDef bool
-		kind             string
-	)
-	switch i % 3 {
-	case 0:
-		kind = "conjunctive"
-		truth := gen.BoolTables(seed, c, 0.4)
-		locals := make(map[computation.ProcID]conjunctive.LocalPredicate)
-		for p := range truth {
-			truth[p][0] = false // online sessions take initial states as false
-			row := truth[p]
-			locals[computation.ProcID(p)] = func(e computation.Event) bool {
-				return e.Index < len(row) && row[e.Index]
-			}
-		}
-		spec = stream.Spec{Kind: stream.Conjunctive, Procs: procs, Retain: true}
-		trace = stream.TableTrace(c, truth)
-		wantPos = conjunctive.DetectTables(c, truth).Found
-		wantDef = conjunctive.DetectDefinitely(c, locals)
-	case 1:
-		kind = "sumeq"
-		gen.UnitStepVar(seed, c, varName)
-		evs, init := stream.SumTrace(c, varName)
-		lo, hi := relsum.SumRange(c, varName)
-		k := lo + seed%(hi-lo+2)
-		spec = stream.Spec{Kind: stream.SumEq, Procs: procs, K: k, Init: init, Retain: true}
-		trace = evs
-		var err error
-		if wantPos, err = relsum.Possibly(c, varName, relsum.Eq, k); err != nil {
-			return err
-		}
-		if wantDef, err = relsum.Definitely(c, varName, relsum.Eq, k); err != nil {
-			return err
-		}
-	case 2:
-		kind = "symmetric"
-		gen.BoolVar(seed, c, varName, 0.4)
-		evs, init := stream.BoolTrace(c, varName)
-		sp := symmetric.NotAllEqual(procs)
-		truth := func(e computation.Event) bool { return c.Var(varName, e.ID) != 0 }
-		spec = stream.Spec{Kind: stream.Symmetric, Procs: procs, Levels: sp.Levels, Init: init, Retain: true}
-		trace = evs
-		var err error
-		if wantPos, _, err = symmetric.Possibly(c, sp, truth); err != nil {
-			return err
-		}
-		if wantDef, err = symmetric.Definitely(c, sp, truth); err != nil {
-			return err
-		}
+	c, ps, spec, trace, err := fabricate(i, procs, events, seed)
+	if err != nil {
+		return err
 	}
+
+	// The offline oracle: the same registry the server resolves through,
+	// via the public front door.
+	rep, err := gpd.Detect(c, ps)
+	if err != nil {
+		return err
+	}
+	repDef, err := gpd.Detect(c, ps, gpd.WithModality(gpd.ModalityDefinitely))
+	if err != nil {
+		return err
+	}
+	wantPos, wantDef := rep.Holds, repDef.Holds
 
 	cl, err := stream.Dial(addr)
 	if err != nil {
@@ -168,8 +167,8 @@ func drive(addr string, i, procs, events int, seed int64) error {
 	}
 	if verdict.Possibly != wantPos || !verdict.DefinitelyKnown || verdict.Definitely != wantDef {
 		return fmt.Errorf("%s (%s): server says Possibly=%v Definitely=%v(known=%v), oracle says %v/%v",
-			id, kind, verdict.Possibly, verdict.Definitely, verdict.DefinitelyKnown, wantPos, wantDef)
+			id, spec.Pred, verdict.Possibly, verdict.Definitely, verdict.DefinitelyKnown, wantPos, wantDef)
 	}
-	fmt.Printf("%-24s %-12s Possibly=%-5v Definitely=%-5v ok\n", id, kind, verdict.Possibly, verdict.Definitely)
+	fmt.Printf("%-24s %-18s Possibly=%-5v Definitely=%-5v ok\n", id, spec.Pred, verdict.Possibly, verdict.Definitely)
 	return nil
 }

@@ -1,0 +1,81 @@
+package detect
+
+// frontier is the causal bookkeeping shared by the range-based
+// incremental detectors: it packs (process, local index) pairs into the
+// tracker id space, derives an event's direct causal dependencies from
+// its timestamp, and tracks the common vector-clock frontier below
+// which events are stable — in the causal past of every event yet to
+// arrive — and therefore safe to fold into a tracker baseline (see
+// relsum.RangeTracker).
+type frontier struct {
+	procs      int
+	lastVC     [][]int64 // timestamp of the last delivered event per process
+	prunedUpto []int64   // per-process local index already folded away
+}
+
+func newFrontier(procs int) *frontier {
+	return &frontier{
+		procs:      procs,
+		lastVC:     make([][]int64, procs),
+		prunedUpto: make([]int64, procs),
+	}
+}
+
+// id packs a (process, local index) pair into the tracker id space.
+func (f *frontier) id(proc int, index int64) int64 {
+	return index*int64(f.procs) + int64(proc)
+}
+
+// requires derives the event's direct causal dependencies from its
+// timestamp: its local predecessor and, per other process, the latest
+// event of that process in its causal past. Local chains make the
+// transitive constraints follow.
+func (f *frontier) requires(ev Event) []int64 {
+	var reqs []int64
+	if own := ev.VC[ev.Proc]; own >= 2 {
+		reqs = append(reqs, f.id(ev.Proc, own-1))
+	}
+	for q, v := range ev.VC {
+		if q != ev.Proc && v >= 1 {
+			reqs = append(reqs, f.id(q, v))
+		}
+	}
+	return reqs
+}
+
+// observe records a delivered event's timestamp.
+func (f *frontier) observe(ev Event) {
+	f.lastVC[ev.Proc] = ev.VC
+}
+
+// stable returns the ids that fell below the component-wise minimum of
+// the processes' latest timestamps since the last call: those events
+// are in the causal past of every event yet to arrive, so every cut
+// still to be formed contains them. Returns nil while some process has
+// not reported yet.
+func (f *frontier) stable() []int64 {
+	min := make([]int64, f.procs)
+	for q := range min {
+		min[q] = int64(1) << 62
+	}
+	for _, vc := range f.lastVC {
+		if vc == nil {
+			return nil // a process has not reported yet: nothing is stable
+		}
+		for q, v := range vc {
+			if v < min[q] {
+				min[q] = v
+			}
+		}
+	}
+	var ids []int64
+	for q := 0; q < f.procs; q++ {
+		for i := f.prunedUpto[q] + 1; i <= min[q]; i++ {
+			ids = append(ids, f.id(q, i))
+		}
+		if min[q] > f.prunedUpto[q] {
+			f.prunedUpto[q] = min[q]
+		}
+	}
+	return ids
+}

@@ -1,0 +1,50 @@
+package detect
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Two processes; online vector clocks count delivered events only (no
+// initial events). Ids pack as index*procs + proc.
+func TestFrontierRequires(t *testing.T) {
+	f := newFrontier(2)
+	// First event of process 0: no dependencies.
+	if got := f.requires(Event{Proc: 0, VC: []int64{1, 0}}); got != nil {
+		t.Errorf("first event: requires %v, want none", got)
+	}
+	// Second event of process 0 after receiving process 1's first:
+	// depends on its local predecessor and on that remote event.
+	got := f.requires(Event{Proc: 0, VC: []int64{2, 1}})
+	want := []int64{f.id(0, 1), f.id(1, 1)}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("requires = %v, want %v", got, want)
+	}
+}
+
+func TestFrontierStable(t *testing.T) {
+	f := newFrontier(2)
+	if ids := f.stable(); ids != nil {
+		t.Errorf("nothing reported: stable = %v, want nil", ids)
+	}
+	f.observe(Event{Proc: 0, VC: []int64{1, 0}})
+	if ids := f.stable(); ids != nil {
+		t.Errorf("process 1 silent: stable = %v, want nil", ids)
+	}
+	f.observe(Event{Proc: 1, VC: []int64{0, 1}})
+	if ids := f.stable(); ids != nil {
+		t.Errorf("no common past yet: stable = %v, want nil", ids)
+	}
+	// Process 0 hears from process 1: that remote event enters every
+	// future cut and becomes prunable.
+	f.observe(Event{Proc: 0, VC: []int64{2, 1}})
+	if ids, want := f.stable(), []int64{f.id(1, 1)}; !reflect.DeepEqual(ids, want) {
+		t.Errorf("stable = %v, want %v", ids, want)
+	}
+	// Process 1 hears back: process 0's first two events stabilize;
+	// process 1's first was already pruned and must not repeat.
+	f.observe(Event{Proc: 1, VC: []int64{2, 2}})
+	if ids, want := f.stable(), []int64{f.id(0, 1), f.id(0, 2)}; !reflect.DeepEqual(ids, want) {
+		t.Errorf("stable = %v, want %v", ids, want)
+	}
+}

@@ -1,0 +1,77 @@
+package detect
+
+import (
+	"fmt"
+
+	"github.com/distributed-predicates/gpd/internal/computation"
+	"github.com/distributed-predicates/gpd/internal/core/relsum"
+	"github.com/distributed-predicates/gpd/internal/obs"
+	"github.com/distributed-predicates/gpd/internal/pred"
+)
+
+func init() {
+	caps := Caps{Incremental: true, Payload: PayloadDelta}
+	Register(Entry{
+		Family: pred.InFlight, Modality: ModalityPossibly, Caps: caps,
+		Batch: inflightPossibly, New: newInFlightDetector, Linearize: linearizeInFlight,
+	})
+	caps.NeedsFullTrace = true
+	Register(Entry{
+		Family: pred.InFlight, Modality: ModalityDefinitely, Caps: caps,
+		Batch: inflightDefinitely, New: newInFlightDetector, Linearize: linearizeInFlight,
+	})
+}
+
+func inflightPossibly(c *computation.Computation, s pred.Spec, _ Options, tr *obs.Trace) (Result, error) {
+	min, max := relsum.InFlightRangeTraced(c, tr)
+	res := Result{Min: min, Max: max, HasRange: true}
+	if s.Rel == relsum.Eq {
+		ok, cut, err := relsum.PossiblyQuiescentTraced(c, s.K, tr)
+		res.Holds, res.Witness = ok, cut
+		return res, err
+	}
+	res.Holds = s.Rel.Eval(min, s.K) || s.Rel.Eval(max, s.K)
+	return res, nil
+}
+
+func inflightDefinitely(c *computation.Computation, s pred.Spec, _ Options, tr *obs.Trace) (Result, error) {
+	min, max := relsum.InFlightRangeTraced(c, tr)
+	ok, err := relsum.DefinitelyWeightedTraced(c, 0, relsum.InFlightWeight(c), s.Rel, s.K, tr)
+	return Result{Holds: ok, Min: min, Max: max, HasRange: true}, err
+}
+
+// newInFlightDetector builds the channel-occupancy detector: the shared
+// range core over per-event deltas (sends − receives, which an
+// instrumented application reports directly in Event.Val). Occupancy
+// always starts at zero, so the family takes no initial values; the
+// deltas are unit-step whenever every event sends or receives at most
+// one message, which is what makes the existing ±1 range tracker an
+// exact online detector for inflight == k.
+func newInFlightDetector(s pred.Spec, cfg Config) (Detector, error) {
+	if len(cfg.Init) > 0 {
+		return nil, fmt.Errorf("detect: inflight detectors take no initial values (occupancy starts at 0)")
+	}
+	d := &sumDetector{
+		fr:      newFrontier(cfg.Procs),
+		rel:     s.Rel,
+		k:       s.K,
+		unit:    s.Rel == relsum.Eq,
+		delta:   true,
+		tracker: relsum.NewRangeTracker(0),
+	}
+	if cfg.Retain {
+		d.weights = make(map[int64]int64)
+	}
+	d.possibly = relPossible(d.rel, d.k, 0, 0)
+	return d, nil
+}
+
+// linearizeInFlight replays channel occupancy: each event's Val is its
+// sends − receives, derived from the computation's messages.
+func linearizeInFlight(c *computation.Computation, _ pred.Spec) ([]Event, Config, error) {
+	w := relsum.InFlightWeight(c)
+	events := LinearizeEvents(c, func(e computation.Event, ev *Event) {
+		ev.Val = w(e)
+	})
+	return events, Config{Procs: c.NumProcs()}, nil
+}

@@ -1,0 +1,142 @@
+package detect
+
+import (
+	"sort"
+
+	"github.com/distributed-predicates/gpd/internal/computation"
+	"github.com/distributed-predicates/gpd/internal/core/symmetric"
+	"github.com/distributed-predicates/gpd/internal/obs"
+	"github.com/distributed-predicates/gpd/internal/pred"
+)
+
+func init() {
+	for _, f := range []pred.Family{pred.Count, pred.Xor, pred.Levels} {
+		caps := Caps{Incremental: true, Payload: PayloadTruth}
+		Register(Entry{
+			Family: f, Modality: ModalityPossibly, Caps: caps,
+			Batch: symPossibly, New: newSymDetector, Linearize: linearizeBool,
+		})
+		caps.NeedsFullTrace = true
+		Register(Entry{
+			Family: f, Modality: ModalityDefinitely, Caps: caps,
+			Batch: symDefinitely, New: newSymDetector, Linearize: linearizeBool,
+		})
+	}
+}
+
+// symmetricSpec builds the level-set form of the Count, Xor and Levels
+// families for a computation with n processes.
+func symmetricSpec(n int, s pred.Spec) symmetric.Spec {
+	switch s.Family {
+	case pred.Xor:
+		return symmetric.Xor(n)
+	case pred.Count:
+		return symmetric.FromFunc(n, func(m int) bool { return s.Rel.Eval(int64(m), s.K) })
+	default: // pred.Levels
+		levels := append([]int(nil), s.Levels...)
+		sort.Ints(levels)
+		out := levels[:0]
+		for i, m := range levels {
+			if i == 0 || m != levels[i-1] {
+				out = append(out, m)
+			}
+		}
+		return symmetric.Spec{N: n, Levels: out}
+	}
+}
+
+func symPossibly(c *computation.Computation, s pred.Spec, _ Options, tr *obs.Trace) (Result, error) {
+	spec := symmetricSpec(c.NumProcs(), s)
+	ok, cut, err := symmetric.PossiblyTraced(c, spec, symmetric.Truth(varTruth(c, s.Var)), tr)
+	return Result{Holds: ok, Witness: cut}, err
+}
+
+func symDefinitely(c *computation.Computation, s pred.Spec, _ Options, tr *obs.Trace) (Result, error) {
+	spec := symmetricSpec(c.NumProcs(), s)
+	ok, err := symmetric.DefinitelyTraced(c, spec, symmetric.Truth(varTruth(c, s.Var)), tr)
+	return Result{Holds: ok}, err
+}
+
+// symDetector wraps the online symmetric tracker (symmetric.Tracker, the
+// sum decomposition over the true-count) behind the Detector interface.
+type symDetector struct {
+	fr      *frontier
+	tracker *symmetric.Tracker
+	lastVal []int64 // 0/1 value after the last delivered event
+	spec    symmetric.Spec
+	varName string
+}
+
+func newSymDetector(s pred.Spec, cfg Config) (Detector, error) {
+	n := cfg.Procs
+	spec := symmetricSpec(n, s)
+	init := make([]bool, n)
+	lastVal := make([]int64, n)
+	for p, v := range cfg.Init {
+		if v != 0 {
+			init[p] = true
+			lastVal[p] = 1
+		}
+	}
+	return &symDetector{
+		fr:      newFrontier(n),
+		tracker: symmetric.NewTracker(spec, init),
+		lastVal: lastVal,
+		spec:    spec,
+		varName: s.Var,
+	}, nil
+}
+
+func (d *symDetector) SetTrace(tr *obs.Trace) { d.tracker.SetTrace(tr) }
+
+func (d *symDetector) Step(ev Event) error {
+	p := ev.Proc
+	var v int64
+	if ev.Truth {
+		v = 1
+	}
+	change := v - d.lastVal[p]
+	d.lastVal[p] = v
+	d.tracker.Observe(d.fr.id(p, ev.VC[p]), change, d.fr.requires(ev))
+	d.fr.observe(ev)
+	return nil
+}
+
+func (d *symDetector) Flush() bool {
+	d.tracker.Flush()
+	if ids := d.fr.stable(); len(ids) > 0 {
+		d.tracker.Prune(ids)
+	}
+	return d.tracker.Found()
+}
+
+func (d *symDetector) Possibly() bool { return d.tracker.Found() }
+
+func (d *symDetector) Window() int { return d.tracker.Window() }
+
+func (d *symDetector) Snapshot() Snapshot {
+	min, max := d.tracker.CountRange()
+	return Snapshot{Possibly: d.tracker.Found(), Window: d.tracker.Window(), Min: min, Max: max, HasRange: true}
+}
+
+// FinalizeDefinitely decides Definitely over the complete computation
+// from the named 0/1 variable (initial states included — a transport's
+// rebuilt trace carries them as the initial events' variable values).
+func (d *symDetector) FinalizeDefinitely(c *computation.Computation, tr *obs.Trace) (bool, error) {
+	return symmetric.DefinitelyTraced(c, d.spec, symmetric.Truth(varTruth(c, d.varName)), tr)
+}
+
+// linearizeBool replays the named 0/1 variable as Truth flags, with 0/1
+// initial values in the config.
+func linearizeBool(c *computation.Computation, s pred.Spec) ([]Event, Config, error) {
+	init := make([]int64, c.NumProcs())
+	for p := range init {
+		if c.Var(s.Var, c.Initial(computation.ProcID(p)).ID) != 0 {
+			init[p] = 1
+		}
+	}
+	events := LinearizeEvents(c, func(e computation.Event, ev *Event) {
+		ev.Truth = c.Var(s.Var, e.ID) != 0
+	})
+	return events, Config{Procs: c.NumProcs(), Init: init}, nil
+}

@@ -45,6 +45,16 @@ var layerRules = []layerRule{
 		Why:    "obs is the dependency-free substrate",
 	},
 	{
+		// The detector kernel sits between the theory core and the
+		// serving stacks: sessions resolve detectors through its
+		// registry, never the other way round. Theory imports are fine;
+		// the serving stacks and the network are not, which is what
+		// keeps every registered detector replayable offline.
+		Layers: []string{"internal/detect"},
+		Forbid: []string{"internal/stream", "internal/monitor", "std:net", "std:net/http"},
+		Why:    "the detector kernel stays serving-free",
+	},
+	{
 		// The two serving stacks are peers, not layers of each other.
 		Layers: []string{"internal/stream"},
 		Forbid: []string{"internal/monitor"},

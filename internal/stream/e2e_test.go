@@ -26,8 +26,19 @@ type e2eJob struct {
 	checkDef bool
 }
 
-// makeJobs builds n jobs cycling through the three predicate families,
-// computing oracle verdicts with the offline detectors.
+// specLabel names a spec for test failures: the grammar string when the
+// session was opened with one, the legacy kind otherwise.
+func specLabel(sp Spec) string {
+	if sp.Pred != "" {
+		return sp.Pred
+	}
+	return sp.Kind.String()
+}
+
+// makeJobs builds n jobs cycling through the four streaming predicate
+// families, computing oracle verdicts with the offline detectors. The
+// inflight jobs open their sessions with a canonical grammar string —
+// the family the legacy numeric kinds never had.
 func makeJobs(t *testing.T, n int) []e2eJob {
 	t.Helper()
 	jobs := make([]e2eJob, 0, n)
@@ -36,7 +47,7 @@ func makeJobs(t *testing.T, n int) []e2eJob {
 		c := randomComputation(seed)
 		np := c.NumProcs()
 		j := e2eJob{id: fmt.Sprintf("app-%03d", i), checkDef: true}
-		switch i % 3 {
+		switch i % 4 {
 		case 0: // conjunctive
 			truth := gen.BoolTables(seed, c, 0.4)
 			for p := range truth {
@@ -79,6 +90,16 @@ func makeJobs(t *testing.T, n int) []e2eJob {
 				t.Fatal(err)
 			}
 			if j.wantDef, err = symmetric.Definitely(c, sp, truth); err != nil {
+				t.Fatal(err)
+			}
+		case 3: // channel occupancy, via the canonical grammar
+			k := 1 + seed%2
+			j.spec = Spec{Pred: fmt.Sprintf("inflight >= %d", k), Procs: np, Retain: true}
+			j.events = InFlightTrace(c)
+			min, max := relsum.InFlightRangeTraced(c, nil)
+			j.wantPos = min >= k || max >= k
+			var err error
+			if j.wantDef, err = relsum.DefinitelyWeightedTraced(c, 0, relsum.InFlightWeight(c), relsum.Ge, k, nil); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -137,11 +158,11 @@ func TestServe64ConcurrentSessions(t *testing.T) {
 			}
 			if verdict.Possibly != j.wantPos {
 				errs <- fmt.Errorf("%s (%s): Possibly=%v, oracle=%v",
-					j.id, j.spec.Kind, verdict.Possibly, j.wantPos)
+					j.id, specLabel(j.spec), verdict.Possibly, j.wantPos)
 			}
 			if j.checkDef && (!verdict.DefinitelyKnown || verdict.Definitely != j.wantDef) {
 				errs <- fmt.Errorf("%s (%s): Definitely=%v (known=%v), oracle=%v",
-					j.id, j.spec.Kind, verdict.Definitely, verdict.DefinitelyKnown, j.wantDef)
+					j.id, specLabel(j.spec), verdict.Definitely, verdict.DefinitelyKnown, j.wantDef)
 			}
 		}(jobs[i], int64(i))
 	}

@@ -68,7 +68,7 @@ func (c Config) withDefaults() Config {
 // acks) reads without locks.
 type handle struct {
 	id    string
-	kind  Kind
+	kind  string // canonical predicate family of the session
 	shard int
 
 	sess *Session // owned by the shard worker; never touched elsewhere
@@ -92,7 +92,7 @@ type handle struct {
 func (h *handle) stats() SessionStats {
 	st := SessionStats{
 		ID:        h.id,
-		Kind:      h.kind.String(),
+		Kind:      h.kind,
 		Shard:     h.shard,
 		Ingested:  h.ingested.Load(),
 		Delivered: h.delivered.Load(),
@@ -316,7 +316,7 @@ func (e *Engine) apply(sh *shard, m shardMsg, touched map[string]*handle) {
 			m.reply <- shardReply{err: err}
 			return
 		}
-		h := &handle{id: m.session, kind: m.spec.Kind, shard: sh.idx, sess: sess, opened: time.Now()}
+		h := &handle{id: m.session, kind: sess.Family().String(), shard: sh.idx, sess: sess, opened: time.Now()}
 		sh.sessions[m.session] = h
 		e.registry.Store(m.session, h)
 		sh.gauge.Add(1)

@@ -4,115 +4,95 @@ import (
 	"fmt"
 
 	"github.com/distributed-predicates/gpd/internal/computation"
-	"github.com/distributed-predicates/gpd/internal/conjunctive"
-	"github.com/distributed-predicates/gpd/internal/core/relsum"
-	"github.com/distributed-predicates/gpd/internal/core/symmetric"
+	"github.com/distributed-predicates/gpd/internal/detect"
 	"github.com/distributed-predicates/gpd/internal/obs"
-	"github.com/distributed-predicates/gpd/internal/vclock"
+	"github.com/distributed-predicates/gpd/internal/pred"
 )
 
-// varName is the variable name used when a retained trace is rebuilt into
-// an offline computation at Close.
+// varName is the variable name used for legacy Kind specs (which name no
+// variable) when a retained trace is rebuilt into an offline computation
+// at Close.
 const varName = "x"
 
 // Session is one monitored application instance: it ingests that
 // application's timestamped events, re-establishes causal order, and runs
-// the incremental detector for its predicate spec. A Session is confined
-// to one goroutine (the engine gives each session to exactly one shard
-// worker); it is not safe for concurrent use.
+// the incremental detector resolved from the detector registry for its
+// predicate spec. The session knows nothing about predicate families —
+// it holds an opaque detect.Detector, so every incremental-capable
+// family the registry knows streams through the same transport code. A
+// Session is confined to one goroutine (the engine gives each session to
+// exactly one shard worker); it is not safe for concurrent use.
 //
 // Step buffers and delivers events; Flush advances the detector (batched,
 // so a shard amortises closure recomputations over a whole mailbox
 // drain); Finalize seals the stream and adds the Definitely verdict when
-// the spec retained the trace.
+// the spec retained the trace and the detector can decide it.
 type Session struct {
-	spec Spec
-	err  error // sticky failure; the session is dead once set
+	spec    Spec
+	ps      pred.Spec       // canonical predicate (parsed Pred or mapped Kind)
+	payload detect.Payload  // event field the detector consumes
+	det     detect.Detector // the registry-resolved incremental detector
+	err     error           // sticky failure; the session is dead once set
 
 	// Causal delivery.
 	delivered []int64   // events delivered per process
 	lastVC    [][]int64 // timestamp of the last delivered event per process
 	holdback  []Event   // arrived but not yet causally deliverable
 
-	// Conjunctive detector state.
-	checker *conjunctive.Checker
-	pending map[int][]vclock.VC // per-process true events awaiting a batch
-
-	// Sum-family detector state.
-	sum        *relsum.RangeTracker // SumEq
-	sym        *symmetric.Tracker   // Symmetric
-	lastVal    []int64              // variable value after the last delivered event
-	prunedUpto []int64              // per-process local index pruned into the baseline
-
 	retained []Event // full delivered trace when spec.Retain
 	possibly bool    // latched verdict as of the last Flush
 	flushes  int
 }
 
-// NewSession validates the spec and builds the session.
+// NewSession validates the spec, resolves its family's incremental
+// detector from the registry, and builds the session. Families without
+// an incremental detector (cnf) are rejected: they need the sealed
+// computation and cannot stream.
 func NewSession(spec Spec) (*Session, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	ps, err := spec.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	entry, ok := detect.Lookup(ps.Family, detect.ModalityPossibly)
+	if !ok || !entry.Caps.Incremental {
+		return nil, fmt.Errorf("stream: predicate family %v has no incremental detector", ps.Family)
+	}
 	n := spec.Procs
+	det, err := entry.New(ps, detect.Config{
+		Procs:    n,
+		Involved: spec.Involved,
+		Init:     spec.Init,
+		Retain:   spec.Retain,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
 	s := &Session{
-		spec:       spec,
-		delivered:  make([]int64, n),
-		lastVC:     make([][]int64, n),
-		lastVal:    make([]int64, n),
-		prunedUpto: make([]int64, n),
+		spec:      spec,
+		ps:        ps,
+		payload:   entry.Caps.Payload,
+		det:       det,
+		delivered: make([]int64, n),
+		lastVC:    make([][]int64, n),
 	}
-	copy(s.lastVal, spec.Init)
-	switch spec.Kind {
-	case Conjunctive:
-		s.checker = conjunctive.NewChecker(s.involved())
-		s.pending = make(map[int][]vclock.VC)
-	case SumEq:
-		var baseline int64
-		for _, v := range spec.Init {
-			baseline += v
-		}
-		s.sum = relsum.NewRangeTracker(baseline)
-		s.possibly = baseline == spec.K // the initial cut is a consistent cut
-	case Symmetric:
-		init := make([]bool, n)
-		for p, v := range spec.Init {
-			init[p] = v != 0
-		}
-		s.sym = symmetric.NewTracker(symmetric.Spec{N: n, Levels: spec.Levels}, init)
-		s.possibly = s.sym.Found()
-	}
+	s.possibly = det.Possibly() // a satisfied initial cut latches immediately
 	return s, nil
 }
+
+// Family returns the canonical predicate family of the session.
+func (s *Session) Family() pred.Family { return s.ps.Family }
 
 // SetTrace routes the session's incremental-detector work counters
 // (closure recomputations of the sum-family trackers) into the given
 // trace. A nil trace disables accounting. Finalize work is accounted
 // separately via FinalizeTraced.
 func (s *Session) SetTrace(tr *obs.Trace) {
-	if s.sum != nil {
-		s.sum.SetTrace(tr)
+	if t, ok := s.det.(detect.Traceable); ok {
+		t.SetTrace(tr)
 	}
-	if s.sym != nil {
-		s.sym.SetTrace(tr)
-	}
-}
-
-// involved returns the conjunctive involved set (default: all processes).
-func (s *Session) involved() []int {
-	if len(s.spec.Involved) > 0 {
-		return s.spec.Involved
-	}
-	all := make([]int, s.spec.Procs)
-	for i := range all {
-		all[i] = i
-	}
-	return all
-}
-
-// evID packs a (process, local index) pair into the tracker id space.
-func (s *Session) evID(proc int, index int64) int64 {
-	return index*int64(s.spec.Procs) + int64(proc)
 }
 
 // Step ingests one event. Events of one process must arrive in local
@@ -206,120 +186,24 @@ func (s *Session) deliver(ev Event) {
 	if s.spec.Retain {
 		s.retained = append(s.retained, ev)
 	}
-	switch s.spec.Kind {
-	case Conjunctive:
-		if ev.Truth {
-			s.pending[p] = append(s.pending[p], vclock.VC(ev.VC))
-		}
-	case SumEq:
-		d := ev.Val - s.lastVal[p]
-		if d > 1 || d < -1 {
-			s.fail(fmt.Errorf("stream: %w: process %d event %d changes by %d",
-				relsum.ErrNotUnitStep, p, ev.VC[p], d))
-			return
-		}
-		s.lastVal[p] = ev.Val
-		s.sum.Observe(s.evID(p, ev.VC[p]), d, s.requires(ev))
-	case Symmetric:
-		var v int64
-		if ev.Truth {
-			v = 1
-		}
-		d := v - s.lastVal[p]
-		s.lastVal[p] = v
-		s.sym.Observe(s.evID(p, ev.VC[p]), d, s.requires(ev))
+	if err := s.det.Step(ev); err != nil {
+		s.fail(fmt.Errorf("stream: %w", err))
 	}
-}
-
-// requires derives the event's direct causal dependencies from its
-// timestamp: its local predecessor and, per other process, the latest
-// event of that process in its causal past. Local chains make the
-// transitive constraints follow.
-func (s *Session) requires(ev Event) []int64 {
-	var reqs []int64
-	if own := ev.VC[ev.Proc]; own >= 2 {
-		reqs = append(reqs, s.evID(ev.Proc, own-1))
-	}
-	for q, v := range ev.VC {
-		if q != ev.Proc && v >= 1 {
-			reqs = append(reqs, s.evID(q, v))
-		}
-	}
-	return reqs
 }
 
 // Flush advances the detector over everything delivered since the last
 // flush (one elimination sweep or closure recomputation per call, however
-// many events arrived), prunes the sum-family window below the common
+// many events arrived), prunes the detector window below the common
 // vector-clock frontier, and returns the latched Possibly verdict.
 func (s *Session) Flush() bool {
 	if s.err != nil {
 		return s.possibly
 	}
 	s.flushes++
-	switch s.spec.Kind {
-	case Conjunctive:
-		for p, vcs := range s.pending {
-			if len(vcs) > 0 {
-				s.checker.ObserveBatch(p, vcs)
-			}
-			delete(s.pending, p)
-		}
-		s.possibly = s.checker.Found()
-	case SumEq:
-		s.sum.Flush()
-		s.pruneFrontier()
-		if min, max := s.sum.Range(); min <= s.spec.K && s.spec.K <= max {
-			s.possibly = true
-		}
-	case Symmetric:
-		s.sym.Flush()
-		s.pruneFrontier()
-		if s.sym.Found() {
-			s.possibly = true
-		}
+	if s.det.Flush() {
+		s.possibly = true
 	}
 	return s.possibly
-}
-
-// pruneFrontier folds every event below the component-wise minimum of the
-// processes' latest timestamps into the tracker baseline: those events
-// are in the causal past of every event yet to arrive, so every cut still
-// to be formed contains them (see relsum.RangeTracker).
-func (s *Session) pruneFrontier() {
-	n := s.spec.Procs
-	min := make([]int64, n)
-	for q := range min {
-		min[q] = int64(1) << 62
-	}
-	for _, vc := range s.lastVC {
-		if vc == nil {
-			return // a process has not reported yet: nothing is stable
-		}
-		for q, v := range vc {
-			if v < min[q] {
-				min[q] = v
-			}
-		}
-	}
-	var ids []int64
-	for q := 0; q < n; q++ {
-		for i := s.prunedUpto[q] + 1; i <= min[q]; i++ {
-			ids = append(ids, s.evID(q, i))
-		}
-		if min[q] > s.prunedUpto[q] {
-			s.prunedUpto[q] = min[q]
-		}
-	}
-	if len(ids) == 0 {
-		return
-	}
-	switch s.spec.Kind {
-	case SumEq:
-		s.sum.Prune(ids)
-	case Symmetric:
-		s.sym.Prune(ids)
-	}
 }
 
 // Possibly returns the latched verdict as of the last Flush.
@@ -341,29 +225,16 @@ func (s *Session) Delivered() int64 {
 func (s *Session) Holdback() int { return len(s.holdback) }
 
 // Window returns the detector's retained state size: queued candidates
-// for conjunctive sessions, unpruned window events for sum sessions.
-func (s *Session) Window() int {
-	switch s.spec.Kind {
-	case Conjunctive:
-		n := s.checker.Pending()
-		for _, vcs := range s.pending {
-			n += len(vcs)
-		}
-		return n
-	case SumEq:
-		return s.sum.Window()
-	case Symmetric:
-		return s.sym.Window()
-	}
-	return 0
-}
+// for conjunctive sessions, unpruned window events for the range-tracking
+// families.
+func (s *Session) Window() int { return s.det.Window() }
 
 // Flushes returns the number of detector flushes performed.
 func (s *Session) Flushes() int { return s.flushes }
 
 // Finalize seals the stream: it flushes the detector, verifies the stream
 // was gapless, and — when the spec retained the trace — rebuilds the
-// computation and decides Definitely with the offline detectors. The
+// computation and decides Definitely with the detector's finalizer. The
 // Possibly verdict in the returned Verdict is exact for the complete
 // computation.
 func (s *Session) Finalize() (Verdict, error) {
@@ -391,6 +262,10 @@ func (s *Session) FinalizeTraced(tr *obs.Trace) (Verdict, error) {
 	if !s.spec.Retain {
 		return v, nil
 	}
+	fin, ok := s.det.(detect.Finalizer)
+	if !ok {
+		return v, nil // the detector cannot decide Definitely; Possibly stands
+	}
 	doneRebuild := tr.Span("stream.rebuild")
 	c, err := s.buildComputation()
 	doneRebuild()
@@ -398,42 +273,34 @@ func (s *Session) FinalizeTraced(tr *obs.Trace) (Verdict, error) {
 		return v, s.fail(err)
 	}
 	tr.Add("stream.rebuilt_events", int64(c.NumEvents()))
-	switch s.spec.Kind {
-	case Conjunctive:
-		truth := make([][]bool, s.spec.Procs)
-		for p := range truth {
-			truth[p] = make([]bool, s.delivered[p]+1)
-		}
-		for _, ev := range s.retained {
-			if ev.Truth {
-				truth[ev.Proc][ev.VC[ev.Proc]] = true
-			}
-		}
-		locals := make(map[computation.ProcID]conjunctive.LocalPredicate)
-		for _, p := range s.involved() {
-			row := truth[p]
-			locals[computation.ProcID(p)] = func(e computation.Event) bool {
-				return e.Index < len(row) && row[e.Index]
-			}
-		}
-		v.Definitely = conjunctive.DetectDefinitelyTraced(c, locals, tr)
-		v.DefinitelyKnown = true
-	case SumEq:
-		def, err := relsum.DefinitelyTraced(c, varName, relsum.Eq, s.spec.K, tr)
-		if err != nil {
-			return v, s.fail(err)
-		}
-		v.Definitely, v.DefinitelyKnown = def, true
-	case Symmetric:
-		spec := symmetric.Spec{N: s.spec.Procs, Levels: s.spec.Levels}
-		truth := func(e computation.Event) bool { return c.Var(varName, e.ID) != 0 }
-		def, err := symmetric.DefinitelyTraced(c, spec, truth, tr)
-		if err != nil {
-			return v, s.fail(err)
-		}
-		v.Definitely, v.DefinitelyKnown = def, true
+	def, err := fin.FinalizeDefinitely(c, tr)
+	if err != nil {
+		return v, s.fail(err)
 	}
+	v.Definitely, v.DefinitelyKnown = def, true
 	return v, nil
+}
+
+// traceVar returns the variable name of the rebuilt computation: the
+// canonical spec's variable, or the legacy default for families that
+// name none (inflight).
+func (s *Session) traceVar() string {
+	if s.ps.Var != "" {
+		return s.ps.Var
+	}
+	return varName
+}
+
+// eventValue maps a delivered event to the rebuilt computation's
+// variable value, following the detector's declared payload.
+func (s *Session) eventValue(ev Event) int64 {
+	if s.payload == detect.PayloadTruth {
+		if ev.Truth {
+			return 1
+		}
+		return 0
+	}
+	return ev.Val // PayloadValue, PayloadDelta
 }
 
 // buildComputation reconstructs the offline computation from the retained
@@ -441,21 +308,22 @@ func (s *Session) FinalizeTraced(tr *obs.Trace) (Verdict, error) {
 // order edges derived from the timestamps (for each event and each other
 // process, an edge from the latest event of that process in its causal
 // past — the transitive closure of these is exactly the happened-before
-// relation the timestamps encode).
+// relation the timestamps encode). The detector's payload is stored as
+// the canonical spec's variable, uniformly for every family; the
+// finalizer decides what to read from it.
 func (s *Session) buildComputation() (*computation.Computation, error) {
+	name := s.traceVar()
 	c := computation.New()
 	for p := 0; p < s.spec.Procs; p++ {
 		c.AddProcess() // creates the initial event at index 0
 		for i := int64(1); i <= s.delivered[p]; i++ {
 			c.AddInternal(computation.ProcID(p))
 		}
-		if s.spec.Kind != Conjunctive {
-			var init int64
-			if p < len(s.spec.Init) {
-				init = s.spec.Init[p]
-			}
-			c.SetVar(varName, c.Initial(computation.ProcID(p)).ID, init)
+		var init int64
+		if p < len(s.spec.Init) {
+			init = s.spec.Init[p]
 		}
+		c.SetVar(name, c.Initial(computation.ProcID(p)).ID, init)
 	}
 	for _, ev := range s.retained {
 		to := c.EventAt(computation.ProcID(ev.Proc), int(ev.VC[ev.Proc])).ID
@@ -467,16 +335,7 @@ func (s *Session) buildComputation() (*computation.Computation, error) {
 				}
 			}
 		}
-		if s.spec.Kind != Conjunctive {
-			val := ev.Val
-			if s.spec.Kind == Symmetric {
-				val = 0
-				if ev.Truth {
-					val = 1
-				}
-			}
-			c.SetVar(varName, to, val)
-		}
+		c.SetVar(name, to, s.eventValue(ev))
 	}
 	if err := c.Seal(); err != nil {
 		return nil, fmt.Errorf("stream: rebuild: %w", err)

@@ -2,18 +2,19 @@
 // predicate detection over vector-clock-timestamped event streams.
 //
 // A monitored application instance opens a Session with a predicate Spec
-// (conjunctive, unit-step sum equality, or symmetric) and streams its
-// events — every event, not just interesting ones, each carrying the
-// vector timestamp produced by an online vclock.Clock. Sessions deliver
-// events in causal order (holding back out-of-order arrivals), feed the
-// incremental detectors built on the offline engines (conjunctive.Checker,
-// relsum.RangeTracker, symmetric.Tracker), and latch a Possibly verdict
-// the moment some consistent cut of the observed prefix satisfies the
-// predicate. Memory stays bounded by pruning everything below the
-// vector-clock frontier common to all processes, in the spirit of Chauhan
-// et al., "A Distributed Abstraction Algorithm for Online Predicate
-// Detection" (arXiv:1304.4326), with incremental maintenance following
-// Mittal & Garg's slicing line of work (arXiv:cs/0303010).
+// and streams its events — every event, not just interesting ones, each
+// carrying the vector timestamp produced by an online vclock.Clock.
+// Sessions deliver events in causal order (holding back out-of-order
+// arrivals) and feed an incremental detector resolved from the detector
+// registry (internal/detect) — any incremental-capable family the
+// registry knows (conjunctive, sum, count, xor, levels, channel
+// occupancy) streams here with no transport changes — latching a
+// Possibly verdict the moment some consistent cut of the observed prefix
+// satisfies the predicate. Memory stays bounded by pruning everything
+// below the vector-clock frontier common to all processes, in the spirit
+// of Chauhan et al., "A Distributed Abstraction Algorithm for Online
+// Predicate Detection" (arXiv:1304.4326), with incremental maintenance
+// following Mittal & Garg's slicing line of work (arXiv:cs/0303010).
 //
 // Engine shards sessions over a pool of workers with bounded, batched,
 // backpressured mailboxes; Server exposes the engine over TCP with
@@ -25,10 +26,14 @@ import (
 	"fmt"
 
 	"github.com/distributed-predicates/gpd/internal/core/relsum"
+	"github.com/distributed-predicates/gpd/internal/detect"
 	"github.com/distributed-predicates/gpd/internal/pred"
 )
 
-// Kind selects the predicate family of a session.
+// Kind is the legacy numeric predicate selector of the wire protocol,
+// kept so old clients keep decoding; new clients set Spec.Pred to a
+// canonical predicate string instead, which reaches every registered
+// family rather than these three.
 type Kind int
 
 const (
@@ -75,19 +80,26 @@ func ParseKind(s string) (Kind, error) {
 
 // Spec is the per-session predicate specification.
 type Spec struct {
-	// Kind selects the predicate family.
-	Kind Kind `json:"kind"`
+	// Pred is the predicate in the canonical grammar shared with
+	// gpd.ParseSpec and gpddetect (e.g. "all(x)", "sum(x) == 5",
+	// "inflight == 0"). Any incremental-capable family of the detector
+	// registry is accepted. Mutually exclusive with Kind.
+	Pred string `json:"pred,omitempty"`
+	// Kind is the legacy numeric family selector, kept for wire
+	// back-compat; leave it zero when Pred is set.
+	Kind Kind `json:"kind,omitempty"`
 	// Procs is the number of processes in the monitored application.
 	Procs int `json:"procs"`
 	// Involved lists the processes carrying a local predicate
-	// (Conjunctive only); nil means all.
+	// (conjunctive only); nil means all.
 	Involved []int `json:"involved,omitempty"`
-	// K is the sum target (SumEq only).
+	// K is the sum target (legacy SumEq only; Pred strings carry their
+	// own constant).
 	K int64 `json:"k,omitempty"`
-	// Levels is the true-count level set (Symmetric only).
+	// Levels is the true-count level set (legacy Symmetric only).
 	Levels []int `json:"levels,omitempty"`
-	// Init gives the initial per-process variable values (SumEq: the
-	// variable; Symmetric: 0/1 truth). nil means all zero/false.
+	// Init gives the initial per-process variable values (sum: the
+	// variable; boolean families: 0/1 truth). nil means all zero/false.
 	Init []int64 `json:"init,omitempty"`
 	// Retain keeps the full delivered trace so Close can also decide the
 	// Definitely modality offline. Costs O(events) memory.
@@ -98,13 +110,25 @@ type Spec struct {
 	MaxWindow int `json:"max_window,omitempty"`
 }
 
-// Pred converts the wire spec into the canonical predicate specification
-// shared with gpd.Detect and gpddetect (internal/pred). The streamed
-// variable is the session's single tracked variable, named varName in the
-// rebuilt computation. Stream-transport fields (Procs, Involved, Init,
-// Retain, MaxWindow) have no counterpart in the canonical spec and are
-// validated separately by Validate.
-func (sp Spec) Pred() (pred.Spec, error) {
+// Canonical converts the wire spec into the canonical predicate
+// specification shared with gpd.Detect and gpddetect (internal/pred),
+// either by parsing the Pred grammar string or by mapping the legacy
+// Kind. A legacy spec's streamed variable is the session's single
+// tracked variable, named varName in the rebuilt computation.
+// Stream-transport fields (Procs, Involved, Init, Retain, MaxWindow)
+// have no counterpart in the canonical spec and are validated separately
+// by Validate.
+func (sp Spec) Canonical() (pred.Spec, error) {
+	if sp.Pred != "" {
+		if sp.Kind != 0 {
+			return pred.Spec{}, fmt.Errorf("stream: spec sets both pred %q and kind %v; give one", sp.Pred, sp.Kind)
+		}
+		ps, err := pred.Parse(sp.Pred)
+		if err != nil {
+			return pred.Spec{}, fmt.Errorf("stream: %w", err)
+		}
+		return ps, nil
+	}
 	switch sp.Kind {
 	case Conjunctive:
 		return pred.Spec{Family: pred.Conjunctive, Var: varName}, nil
@@ -126,17 +150,23 @@ func (sp Spec) Validate() error {
 	if sp.Procs < 1 {
 		return fmt.Errorf("stream: spec needs procs >= 1, got %d", sp.Procs)
 	}
-	ps, err := sp.Pred()
+	ps, err := sp.Canonical()
 	if err != nil {
 		return err
 	}
 	if err := ps.Validate(sp.Procs); err != nil {
 		return fmt.Errorf("stream: %w", err)
 	}
+	if len(sp.Involved) > 0 && ps.Family != pred.Conjunctive {
+		return fmt.Errorf("stream: involved processes apply only to conjunctive sessions, not %v", ps.Family)
+	}
 	for _, p := range sp.Involved {
 		if p < 0 || p >= sp.Procs {
 			return fmt.Errorf("stream: involved process %d out of range [0,%d)", p, sp.Procs)
 		}
+	}
+	if ps.Family == pred.InFlight && len(sp.Init) > 0 {
+		return fmt.Errorf("stream: inflight sessions take no initial values (occupancy starts at 0)")
 	}
 	if len(sp.Init) > sp.Procs {
 		return fmt.Errorf("stream: %d initial values for %d processes", len(sp.Init), sp.Procs)
@@ -151,13 +181,10 @@ func (sp Spec) Validate() error {
 // vector timestamp produced by the process's online clock (component p =
 // number of events of process p in the causal past, inclusive). Events of
 // one process must be appended in local order; interleaving across
-// processes is arbitrary — sessions re-establish causal order.
-type Event struct {
-	Proc  int     `json:"proc"`
-	VC    []int64 `json:"vc"`
-	Truth bool    `json:"truth,omitempty"` // Conjunctive, Symmetric
-	Val   int64   `json:"val,omitempty"`   // SumEq
-}
+// processes is arbitrary — sessions re-establish causal order. It is the
+// detector kernel's event type, so sessions hand events straight to their
+// detector with no conversion.
+type Event = detect.Event
 
 // Verdict is a session's detection outcome.
 type Verdict struct {

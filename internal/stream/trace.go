@@ -2,26 +2,17 @@ package stream
 
 import (
 	"github.com/distributed-predicates/gpd/internal/computation"
+	"github.com/distributed-predicates/gpd/internal/core/relsum"
+	"github.com/distributed-predicates/gpd/internal/detect"
 )
 
 // Bridging a sealed offline computation into the streaming world: replay
 // its events as the wire Events an instrumented application would have
 // produced. Used by the e2e drivers and the agreement tests, which replay
 // generator/simulator traces through a Session and cross-check the
-// verdicts against the offline detectors.
-
-// clockToVC converts a sealed computation's timestamp (which counts
-// initial events) to the online vector-clock convention (which has no
-// initial events): component q drops the initial event when present.
-func clockToVC(clk []int32) []int64 {
-	vc := make([]int64, len(clk))
-	for q, v := range clk {
-		if v >= 1 {
-			vc[q] = int64(v) - 1
-		}
-	}
-	return vc
-}
+// verdicts against the offline detectors. The linearization itself lives
+// in the detector kernel (detect.LinearizeEvents), shared with the
+// StrategyReplay route of gpd.Detect.
 
 // Trace linearizes the non-initial events of a sealed computation in
 // topological order, filling each wire event's payload via fill (set
@@ -29,19 +20,7 @@ func clockToVC(clk []int32) []int64 {
 // order themselves, so any permutation of the result is also a valid
 // input stream.
 func Trace(c *computation.Computation, fill func(e computation.Event, ev *Event)) []Event {
-	var out []Event
-	for _, id := range c.Topo() {
-		e := c.Event(id)
-		if e.IsInitial() {
-			continue
-		}
-		ev := Event{Proc: int(e.Proc), VC: clockToVC(c.Clock(id))}
-		if fill != nil {
-			fill(e, &ev)
-		}
-		out = append(out, ev)
-	}
-	return out
+	return detect.LinearizeEvents(c, fill)
 }
 
 // SumTrace replays the named variable: events carry its value, and the
@@ -80,5 +59,15 @@ func TableTrace(c *computation.Computation, truth [][]bool) []Event {
 	return Trace(c, func(e computation.Event, ev *Event) {
 		row := truth[int(e.Proc)]
 		ev.Truth = e.Index < len(row) && row[e.Index]
+	})
+}
+
+// InFlightTrace replays channel occupancy: each event's Val is its
+// sends − receives, derived from the computation's messages — the delta
+// stream an instrumented transport would report for inflight sessions.
+func InFlightTrace(c *computation.Computation) []Event {
+	w := relsum.InFlightWeight(c)
+	return Trace(c, func(e computation.Event, ev *Event) {
+		ev.Val = w(e)
 	})
 }
