@@ -7,6 +7,14 @@
 //
 //	gpdserver -addr 127.0.0.1:7400 -stats 127.0.0.1:7401
 //	gpdserver -shards 8 -queue 512 -batch 128 -policy drop-oldest
+//	gpdserver -max-predicates-per-tenant 1000 -slo-registered 50000
+//
+// Multiplexed sessions (Spec.Mux) carry many registered predicates over
+// one causally ordered stream; -max-predicates-per-tenant caps how many
+// predicates one tenant may hold registered at once, and the stats
+// surface reports per-tenant registration counts (/debug/vars), the
+// mux_registered_predicates{tenant=...} gauges, and the routing economy
+// counters mux_steps_total / mux_steps_skipped_total (/metrics).
 //
 // The wire protocol is length-prefixed JSON frames (see internal/stream);
 // examples/streamclient is a ready-made load generator and correctness
@@ -58,6 +66,7 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 	queue := fs.Int("queue", 256, "per-shard mailbox capacity, in frames")
 	batch := fs.Int("batch", 64, "max frames drained per worker iteration")
 	policy := fs.String("policy", "backpressure", "mailbox overflow policy: backpressure or drop-oldest")
+	maxPreds := fs.Int("max-predicates-per-tenant", 0, "cap on registered predicates per tenant across mux sessions (0: uncapped)")
 	idle := fs.Duration("idle-timeout", 5*time.Minute, "disconnect peers silent for this long (0: never)")
 	write := fs.Duration("write-timeout", 30*time.Second, "per-reply write deadline (0: none)")
 	withPprof := fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the -stats listener")
@@ -68,6 +77,7 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 	sloHoldback := fs.Int("slo-holdback", 0, "SLO: max per-session holdback depth in events (0: off)")
 	sloMailbox := fs.Int("slo-mailbox", 0, "SLO: max per-shard mailbox backlog in frames (0: off)")
 	sloShed := fs.Uint64("slo-shed", 0, "SLO: max shed frames engine-wide (0: off)")
+	sloRegistered := fs.Int("slo-registered", 0, "SLO: max registered predicates engine-wide (0: off)")
 	sloDump := fs.String("slo-dump", "", "file to dump the flight ring to on SLO breach (once per rule)")
 	sloDumpFormat := fs.String("slo-dump-format", "json", "breach dump encoding: json or chrome")
 	if err := fs.Parse(args); err != nil {
@@ -102,13 +112,15 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 	cfg := stream.Config{
 		Shards: *shards, QueueLen: *queue, BatchSize: *batch,
 		Metrics: metrics, Flight: flight,
+		MaxPredicatesPerTenant: *maxPreds,
 		SLO: stream.SLOConfig{
-			VerdictLatency: *sloVerdict,
-			HoldbackDepth:  *sloHoldback,
-			MailboxDepth:   *sloMailbox,
-			ShedFrames:     *sloShed,
-			DumpPath:       *sloDump,
-			DumpFormat:     *sloDumpFormat,
+			VerdictLatency:       *sloVerdict,
+			HoldbackDepth:        *sloHoldback,
+			MailboxDepth:         *sloMailbox,
+			ShedFrames:           *sloShed,
+			RegisteredPredicates: *sloRegistered,
+			DumpPath:             *sloDump,
+			DumpFormat:           *sloDumpFormat,
 			OnBreach: func(rule, detail, path string) {
 				logger.Warn("slo breach", "rule", rule, "detail", detail, "dump", path)
 			},

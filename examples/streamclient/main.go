@@ -8,8 +8,14 @@
 // strings. Exit status is nonzero on any mismatch, which makes it double
 // as the serving smoke test in CI.
 //
+// With -predicates N the client additionally opens one multiplexed
+// session (Spec.Mux): N predicates across several tenants registered on
+// a single causally ordered stream of a multi-variable computation, the
+// close-time per-predicate fan-out checked against the same offline
+// oracles.
+//
 //	gpdserver -addr 127.0.0.1:7400        # terminal 1
-//	go run ./examples/streamclient -addr 127.0.0.1:7400 -sessions 8
+//	go run ./examples/streamclient -addr 127.0.0.1:7400 -sessions 8 -predicates 32
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"github.com/distributed-predicates/gpd/internal/computation"
 	"github.com/distributed-predicates/gpd/internal/core/relsum"
 	"github.com/distributed-predicates/gpd/internal/core/symmetric"
+	"github.com/distributed-predicates/gpd/internal/detect"
 	"github.com/distributed-predicates/gpd/internal/gen"
 	"github.com/distributed-predicates/gpd/internal/stream"
 )
@@ -37,15 +44,16 @@ func main() {
 	procs := flag.Int("procs", 3, "processes per monitored application")
 	events := flag.Int("events", 5, "events per process")
 	seed := flag.Int64("seed", 1, "base random seed")
+	predicates := flag.Int("predicates", 0, "also drive one multiplexed session with this many predicates (0: skip)")
 	wait := flag.Duration("wait", 5*time.Second, "how long to retry the first dial")
 	flag.Parse()
 
-	if err := run(*addr, *sessions, *procs, *events, *seed, *wait); err != nil {
+	if err := run(*addr, *sessions, *procs, *events, *seed, *predicates, *wait); err != nil {
 		log.Fatal("streamclient: ", err)
 	}
 }
 
-func run(addr string, sessions, procs, events int, seed int64, wait time.Duration) error {
+func run(addr string, sessions, procs, events int, seed int64, predicates int, wait time.Duration) error {
 	// Retry the first dial so the client can be launched alongside the
 	// server (CI starts both in one step).
 	deadline := time.Now().Add(wait)
@@ -83,7 +91,181 @@ func run(addr string, sessions, procs, events int, seed int64, wait time.Duratio
 		return fmt.Errorf("%d of %d sessions disagreed with the offline oracle", failed, sessions)
 	}
 	fmt.Printf("streamclient: %d sessions verified against offline oracles\n", sessions)
+	if predicates > 0 {
+		if err := driveMux(addr, procs, predicates, seed); err != nil {
+			return fmt.Errorf("multiplexed session: %w", err)
+		}
+		fmt.Printf("streamclient: %d multiplexed predicates verified against offline oracles\n", predicates)
+	}
 	return nil
+}
+
+// driveMux runs one multiplexed session: a multi-variable computation
+// streamed once, npreds predicates across four tenants registered on it,
+// and every predicate's close-time verdict checked against gpd.Detect.
+func driveMux(addr string, procs, npreds int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	nvars := npreds / 4
+	if nvars < 1 {
+		nvars = 1
+	}
+	if nvars > 16 {
+		nvars = 16
+	}
+	vars := make([]string, nvars)
+	for i := range vars {
+		vars[i] = fmt.Sprintf("v%d", i)
+	}
+	c, trace := fabricateMux(rng, procs, 40*procs, vars)
+
+	cl, err := stream.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	id := fmt.Sprintf("streamclient-mux-%d", os.Getpid())
+	if err := cl.Open(id, stream.Spec{Mux: true, Procs: procs}); err != nil {
+		return err
+	}
+	texts := make(map[string]string, npreds)
+	for i := 0; i < npreds; i++ {
+		v := vars[i%len(vars)]
+		var text string
+		switch i % 5 {
+		case 0:
+			text = fmt.Sprintf("all(%s)", v)
+		case 1:
+			text = fmt.Sprintf("sum(%s) >= %d", v, 1+i%procs)
+		case 2:
+			text = fmt.Sprintf("count(%s) >= %d", v, 1+i%procs)
+		case 3:
+			text = fmt.Sprintf("xor(%s)", v)
+		default:
+			text = fmt.Sprintf("inflight >= %d", 1+i%2)
+		}
+		pid := fmt.Sprintf("p%04d", i)
+		texts[pid] = text
+		r := stream.RegisterSpec{ID: pid, Tenant: fmt.Sprintf("tenant-%d", i%4), Pred: text}
+		if _, err := cl.RegisterPredicate(id, r); err != nil {
+			return fmt.Errorf("register %s (%s): %w", pid, text, err)
+		}
+	}
+	rng.Shuffle(len(trace), func(a, b int) { trace[a], trace[b] = trace[b], trace[a] })
+	for len(trace) > 0 {
+		n := 1 + rng.Intn(8)
+		if n > len(trace) {
+			n = len(trace)
+		}
+		if _, err := cl.Append(id, trace[:n]); err != nil {
+			return err
+		}
+		trace = trace[n:]
+	}
+	st, _, err := cl.QueryUpdates(id)
+	if err != nil {
+		return err
+	}
+	_, states, err := cl.ClosePredicates(id)
+	if err != nil {
+		return err
+	}
+	final := make(map[string]bool, len(states))
+	for _, u := range states {
+		if u.Err != "" {
+			return fmt.Errorf("%s (%s) failed server-side: %s", u.ID, texts[u.ID], u.Err)
+		}
+		final[u.ID] = u.Possibly
+	}
+	for pid, text := range texts {
+		ps, err := gpd.ParseSpec(text)
+		if err != nil {
+			return err
+		}
+		rep, err := gpd.Detect(c, ps)
+		if err != nil {
+			return err
+		}
+		got, ok := final[pid]
+		if !ok {
+			return fmt.Errorf("%s (%s) missing from the close fan-out", pid, text)
+		}
+		if got != rep.Holds {
+			return fmt.Errorf("%s (%s): server says Possibly=%v, oracle says %v", pid, text, got, rep.Holds)
+		}
+	}
+	fmt.Printf("%-24s mux               predicates=%d steps=%d skipped=%d ok\n", id, npreds, st.Steps, st.Skipped)
+	return nil
+}
+
+// fabricateMux builds a random multi-variable computation (0/1 variables
+// flipped by internal events, channel occupancy moved by message pairs)
+// with carried-forward variable tables, and its tagged multiplexed event
+// stream in causal order.
+func fabricateMux(rng *rand.Rand, procs, rounds int, vars []string) (*computation.Computation, []stream.Event) {
+	c := computation.New()
+	for p := 0; p < procs; p++ {
+		c.AddProcess()
+	}
+	type tag struct {
+		varName string
+		val     int64
+	}
+	tags := make(map[computation.EventID]tag)
+	for i := 0; i < rounds; i++ {
+		p := computation.ProcID(rng.Intn(procs))
+		if rng.Float64() < 0.2 && procs > 1 {
+			q := computation.ProcID(rng.Intn(procs))
+			for q == p {
+				q = computation.ProcID(rng.Intn(procs))
+			}
+			send := c.AddInternal(p)
+			recv := c.AddInternal(q)
+			if err := c.AddMessage(send, recv); err != nil {
+				panic(err)
+			}
+			tags[send] = tag{varName: detect.InFlightVar, val: 1}
+			tags[recv] = tag{varName: detect.InFlightVar, val: -1}
+			continue
+		}
+		id := c.AddInternal(p)
+		tags[id] = tag{varName: vars[rng.Intn(len(vars))], val: int64(rng.Intn(2))}
+	}
+	for p := 0; p < procs; p++ {
+		cur := make(map[string]int64, len(vars))
+		for _, id := range c.ProcEvents(computation.ProcID(p)) {
+			if tg, ok := tags[id]; ok && tg.varName != detect.InFlightVar {
+				cur[tg.varName] = tg.val
+			}
+			for _, v := range vars {
+				c.SetVar(v, id, cur[v])
+			}
+		}
+	}
+	if err := c.Seal(); err != nil {
+		panic(err)
+	}
+	var out []stream.Event
+	for _, id := range c.Topo() {
+		e := c.Event(id)
+		if e.IsInitial() {
+			continue
+		}
+		clk := c.Clock(id)
+		vc := make([]int64, len(clk))
+		for q, v := range clk {
+			if v >= 1 {
+				vc[q] = int64(v) - 1
+			}
+		}
+		ev := stream.Event{Proc: int(e.Proc), VC: vc}
+		if tg, ok := tags[id]; ok {
+			ev.Var = tg.varName
+			ev.Val = tg.val
+			ev.Truth = tg.varName != detect.InFlightVar && tg.val != 0
+		}
+		out = append(out, ev)
+	}
+	return c, out
 }
 
 // fabricate builds the computation, the canonical predicate, and the

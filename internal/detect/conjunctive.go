@@ -94,6 +94,13 @@ func (d *conjDetector) Flush() bool {
 
 func (d *conjDetector) Possibly() bool { return d.possibly }
 
+// Touches bounds the detector's relevance set: only true events of the
+// involved processes can move the token checker, and only the spec's
+// variable carries them.
+func (d *conjDetector) Touches() Relevance {
+	return Relevance{Procs: append([]int(nil), d.involved...), Vars: []string{d.varName}}
+}
+
 func (d *conjDetector) Window() int {
 	n := d.checker.Pending()
 	for _, vcs := range d.pending {

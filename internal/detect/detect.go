@@ -109,7 +109,18 @@ type Event struct {
 	VC    []int64 `json:"vc"`
 	Truth bool    `json:"truth,omitempty"` // PayloadTruth: the 0/1 variable
 	Val   int64   `json:"val,omitempty"`   // PayloadValue / PayloadDelta
+	// Var names the variable this event updates. Single-predicate
+	// transports leave it empty (the session's one variable is implied);
+	// multiplexed streams tag every event so the router can step only
+	// the detectors whose relevance set contains the variable. Channel
+	// occupancy deltas are tagged InFlightVar.
+	Var string `json:"var,omitempty"`
 }
+
+// InFlightVar is the reserved variable tag of channel-occupancy events
+// in multiplexed streams — the same keyword the predicate grammar uses
+// for the inflight family.
+const InFlightVar = "inflight"
 
 // Payload declares which Event field an incremental detector consumes,
 // so transports can fill and rebuild traces without knowing the family.
@@ -166,6 +177,38 @@ type Finalizer interface {
 // recomputations, augmenting paths) can be accounted into a trace.
 type Traceable interface {
 	SetTrace(tr *obs.Trace)
+}
+
+// Relevance bounds the events that can affect a detector's verdict: a
+// multiplexing router only steps the detector for events whose process
+// and variable fall inside the sets. A nil Procs or Vars slice means
+// "every process" / "every variable" — the sound, conservative answer.
+type Relevance struct {
+	// Procs lists the processes whose events the detector consumes;
+	// nil means all.
+	Procs []int
+	// Vars lists the variables whose events the detector consumes; nil
+	// means all. Channel-occupancy detectors report InFlightVar.
+	Vars []string
+}
+
+// Toucher is implemented by detectors that can bound their relevance
+// set. The hint must be sound: stepping the detector with only the
+// events inside the set must latch the same verdict as stepping it with
+// every event (routers rely on this to skip the rest).
+type Toucher interface {
+	Touches() Relevance
+}
+
+// TouchesOf returns d's relevance hint, or the conservative
+// touches-everything Relevance for detectors that do not implement
+// Toucher — such detectors are stepped on every event, which is always
+// sound.
+func TouchesOf(d Detector) Relevance {
+	if t, ok := d.(Toucher); ok {
+		return t.Touches()
+	}
+	return Relevance{}
 }
 
 // Snapshot is a detector's current view: the latched verdict, the

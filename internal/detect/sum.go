@@ -141,6 +141,16 @@ func (d *sumDetector) Flush() bool {
 
 func (d *sumDetector) Possibly() bool { return d.possibly }
 
+// Touches bounds the detector's relevance set: the sum ranges over the
+// named variable's events on every process (channel-occupancy sessions
+// consume the reserved InFlightVar delta stream instead).
+func (d *sumDetector) Touches() Relevance {
+	if d.delta {
+		return Relevance{Vars: []string{InFlightVar}}
+	}
+	return Relevance{Vars: []string{d.varName}}
+}
+
 func (d *sumDetector) Window() int { return d.tracker.Window() }
 
 func (d *sumDetector) Snapshot() Snapshot {

@@ -112,6 +112,12 @@ func (d *symDetector) Flush() bool {
 
 func (d *symDetector) Possibly() bool { return d.tracker.Found() }
 
+// Touches bounds the detector's relevance set: the true-count ranges
+// over the named 0/1 variable's events on every process.
+func (d *symDetector) Touches() Relevance {
+	return Relevance{Vars: []string{d.varName}}
+}
+
 func (d *symDetector) Window() int { return d.tracker.Window() }
 
 func (d *symDetector) Snapshot() Snapshot {

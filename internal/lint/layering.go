@@ -55,6 +55,16 @@ var layerRules = []layerRule{
 		Why:    "the detector kernel stays serving-free",
 	},
 	{
+		// The predicate multiplexer sits between the detector kernel and
+		// the stream transport: stream attaches mux groups to sessions,
+		// never the other way round. Keeping mux transport-free is what
+		// lets the routing and projection layer be tested (and reasoned
+		// about) against offline oracles alone.
+		Layers: []string{"internal/mux"},
+		Forbid: []string{"internal/stream", "internal/monitor", "std:net", "std:net/http"},
+		Why:    "the predicate multiplexer stays transport-free",
+	},
+	{
 		// The two serving stacks are peers, not layers of each other.
 		Layers: []string{"internal/stream"},
 		Forbid: []string{"internal/monitor"},

@@ -166,7 +166,7 @@ func TestExecSummaryOnFindings(t *testing.T) {
 	if got != ExitFindings {
 		t.Fatalf("exit = %d, want %d", got, ExitFindings)
 	}
-	if !strings.Contains(errOut.String(), "layering 6") {
+	if !strings.Contains(errOut.String(), "layering 8") {
 		t.Errorf("summary missing layering count: %q", errOut.String())
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+
+	"github.com/distributed-predicates/gpd/internal/mux"
 )
 
 // Client is a blocking wire-protocol client. One Client owns one TCP
@@ -80,12 +82,49 @@ func (c *Client) Query(id string) (SessionStats, error) {
 
 // CloseSession finalizes the session and returns its verdict.
 func (c *Client) CloseSession(id string) (Verdict, error) {
+	v, _, err := c.ClosePredicates(id)
+	return v, err
+}
+
+// ClosePredicates is CloseSession plus the multiplexed fan-out: the
+// final state of every predicate still registered at close.
+func (c *Client) ClosePredicates(id string) (Verdict, []mux.Update, error) {
 	resp, err := c.roundTrip(Request{Type: "close", Session: id})
 	if err != nil {
-		return Verdict{}, err
+		return Verdict{}, nil, err
 	}
 	if resp.Verdict == nil {
-		return Verdict{}, fmt.Errorf("stream: close reply without verdict")
+		return Verdict{}, nil, fmt.Errorf("stream: close reply without verdict")
 	}
-	return *resp.Verdict, nil
+	return *resp.Verdict, resp.Predicates, nil
+}
+
+// RegisterPredicate attaches a predicate to an open multiplexed session.
+// The returned updates are any verdicts that latched at the registration
+// cut itself (e.g. a predicate already satisfied by the seeded state).
+func (c *Client) RegisterPredicate(id string, r RegisterSpec) ([]mux.Update, error) {
+	resp, err := c.roundTrip(Request{Type: "register", Session: id, Register: &r})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Updates, nil
+}
+
+// UnregisterPredicate detaches a predicate from a multiplexed session.
+func (c *Client) UnregisterPredicate(id, predID string) error {
+	_, err := c.roundTrip(Request{Type: "unregister", Session: id, Predicate: predID})
+	return err
+}
+
+// QueryUpdates is Query plus the per-predicate verdict updates queued
+// since the previous drain (multiplexed sessions).
+func (c *Client) QueryUpdates(id string) (SessionStats, []mux.Update, error) {
+	resp, err := c.roundTrip(Request{Type: "query", Session: id})
+	if err != nil {
+		return SessionStats{}, nil, err
+	}
+	if resp.Stats == nil {
+		return SessionStats{}, nil, fmt.Errorf("stream: query reply without stats")
+	}
+	return *resp.Stats, resp.Updates, nil
 }

@@ -9,7 +9,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/distributed-predicates/gpd/internal/mux"
 	"github.com/distributed-predicates/gpd/internal/obs"
+	"github.com/distributed-predicates/gpd/internal/pred"
 )
 
 // Engine errors.
@@ -48,6 +50,10 @@ type Config struct {
 	// disables it. Breaches bump slo_breaches_total{rule=...} and dump
 	// the flight ring (see SLOConfig).
 	SLO SLOConfig
+	// MaxPredicatesPerTenant caps how many predicates one tenant may hold
+	// registered at once across every multiplexed session of the engine;
+	// Register fails once the cap is reached. 0 means no cap.
+	MaxPredicatesPerTenant int
 }
 
 func (c Config) withDefaults() Config {
@@ -80,13 +86,26 @@ type handle struct {
 	heldSeq     uint64 // seq that opened the current holdback episode (0 = none)
 	sloHoldback bool   // holdback SLO latched for this session
 
-	ingested  atomic.Uint64
-	delivered atomic.Int64
-	holdback  atomic.Int64
-	window    atomic.Int64
-	flushes   atomic.Int64
-	possibly  atomic.Bool
-	errStr    atomic.Value // string
+	// Worker-confined multiplexing state: registration times and tenants
+	// for per-tenant verdict latency, undelivered verdict updates, and
+	// the previous step counters for delta-publishing engine totals.
+	regTimes    map[string]time.Time
+	regTenants  map[string]string
+	pending     []mux.Update
+	lastSteps   int64
+	lastSkipped int64
+
+	ingested   atomic.Uint64
+	delivered  atomic.Int64
+	holdback   atomic.Int64
+	window     atomic.Int64
+	flushes    atomic.Int64
+	registered atomic.Int64 // mux sessions: predicates registered
+	active     atomic.Int64 // mux sessions: predicates still stepping
+	steps      atomic.Int64 // mux sessions: detector steps taken
+	skipped    atomic.Int64 // mux sessions: detector steps avoided by routing
+	possibly   atomic.Bool
+	errStr     atomic.Value // string
 }
 
 func (h *handle) stats() SessionStats {
@@ -100,6 +119,11 @@ func (h *handle) stats() SessionStats {
 		Window:    int(h.window.Load()),
 		Flushes:   int(h.flushes.Load()),
 		Possibly:  h.possibly.Load(),
+
+		Registered: int(h.registered.Load()),
+		Active:     int(h.active.Load()),
+		Steps:      h.steps.Load(),
+		Skipped:    h.skipped.Load(),
 	}
 	if e, _ := h.errStr.Load().(string); e != "" {
 		st.Error = e
@@ -151,6 +175,15 @@ type Engine struct {
 	sloDumped    sync.Map // rule -> struct{}: rules that already dumped
 	shedTotal    atomic.Uint64
 	sloShedFired atomic.Bool
+	sloPredFired atomic.Bool
+
+	// Control-plane predicate accounting: registrations minus
+	// unregistrations minus releases at session close, per tenant.
+	// Guarded by predMu (Register/Unregister/CloseSession are control
+	// traffic, never the ingest hot path).
+	predMu       sync.Mutex
+	tenantCounts map[string]int
+	predTotal    int
 
 	// Engine-wide registry handles (nil no-ops when metrics are off).
 	mDeliveryLag    *obs.Histogram
@@ -158,17 +191,23 @@ type Engine struct {
 	mVerdictLatency *obs.Histogram
 	mFinalizeMillis *obs.Histogram
 	mBreaches       map[string]*obs.Counter // SLO rule -> breach counter
+	mMuxSteps       *obs.Counter
+	mMuxSkipped     *obs.Counter
+	tenantGauges    sync.Map // tenant -> *obs.Gauge: mux_registered_predicates{tenant=...}
+	tenantLatency   sync.Map // tenant -> *obs.Histogram: mux_verdict_latency_millis{tenant=...}
 }
 
 // NewEngine starts the shard pool.
 func NewEngine(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
-	e := &Engine{cfg: cfg, flight: cfg.Flight}
+	e := &Engine{cfg: cfg, flight: cfg.Flight, tenantCounts: make(map[string]int)}
 	m := cfg.Metrics
 	e.mDeliveryLag = m.Histogram("stream_delivery_lag_events", obs.ExpBuckets(1, 12)...)
 	e.mHoldback = m.Histogram("stream_holdback_depth", obs.ExpBuckets(1, 12)...)
 	e.mVerdictLatency = m.Histogram("stream_verdict_latency_millis", obs.ExpBuckets(1, 16)...)
 	e.mFinalizeMillis = m.Histogram("stream_finalize_millis", obs.ExpBuckets(1, 16)...)
+	e.mMuxSteps = m.Counter("mux_steps_total")
+	e.mMuxSkipped = m.Counter("mux_steps_skipped_total")
 	// Pre-interned so every rule exports an explicit zero before it
 	// first fires (scrapers can always alert on the series).
 	e.mBreaches = make(map[string]*obs.Counter, len(sloRules))
@@ -252,6 +291,7 @@ func (e *Engine) run(sh *shard) {
 				Seq: h.lastSeq, Session: id, Shard: sh.idx, Proc: -1,
 				Stage: obs.StageUpdate, Detail: "flush " + strconv.FormatInt(int64(h.sess.Flushes()), 10),
 			})
+			e.drainUpdates(sh, h)
 			e.publish(sh, h, sample)
 		}
 		if !ok {
@@ -278,6 +318,16 @@ func (e *Engine) publish(sh *shard, h *handle, sample bool) {
 	}
 	if err := s.Err(); err != nil {
 		h.errStr.Store(err.Error())
+	}
+	if s.Mux() {
+		ms := s.MuxStats()
+		h.registered.Store(int64(ms.Registered))
+		h.active.Store(int64(ms.Active))
+		h.steps.Store(ms.Steps)
+		h.skipped.Store(ms.Skipped)
+		e.mMuxSteps.Add(ms.Steps - h.lastSteps)
+		e.mMuxSkipped.Add(ms.Skipped - h.lastSkipped)
+		h.lastSteps, h.lastSkipped = ms.Steps, ms.Skipped
 	}
 	if max := e.cfg.SLO.HoldbackDepth; max > 0 && int(holdback) > max && !h.sloHoldback {
 		h.sloHoldback = true
@@ -316,7 +366,11 @@ func (e *Engine) apply(sh *shard, m shardMsg, touched map[string]*handle) {
 			m.reply <- shardReply{err: err}
 			return
 		}
-		h := &handle{id: m.session, kind: sess.Family().String(), shard: sh.idx, sess: sess, opened: time.Now()}
+		h := &handle{id: m.session, kind: sess.KindLabel(), shard: sh.idx, sess: sess, opened: time.Now()}
+		if sess.Mux() {
+			h.regTimes = make(map[string]time.Time)
+			h.regTenants = make(map[string]string)
+		}
 		sh.sessions[m.session] = h
 		e.registry.Store(m.session, h)
 		sh.gauge.Add(1)
@@ -348,8 +402,65 @@ func (e *Engine) apply(sh *shard, m shardMsg, touched map[string]*handle) {
 			return
 		}
 		h.sess.Flush()
+		e.drainUpdates(sh, h)
 		e.publish(sh, h, true)
-		m.reply <- shardReply{stats: h.stats()}
+		ups := h.pending
+		h.pending = nil
+		m.reply <- shardReply{stats: h.stats(), updates: ups}
+	case msgRegister:
+		h, exists := sh.sessions[m.session]
+		if !exists {
+			m.reply <- shardReply{err: fmt.Errorf("%w: %q", ErrUnknownSession, m.session)}
+			return
+		}
+		ps, err := pred.Parse(m.reg.Pred)
+		if err != nil {
+			m.reply <- shardReply{err: fmt.Errorf("stream: %w", err)}
+			return
+		}
+		tenant := m.reg.Tenant
+		if tenant == "" {
+			tenant = "default"
+		}
+		if err := h.sess.Register(mux.Registration{
+			ID:       m.reg.ID,
+			Tenant:   tenant,
+			Spec:     ps,
+			Involved: m.reg.Involved,
+			Init:     m.reg.Init,
+		}); err != nil {
+			m.reply <- shardReply{err: err}
+			return
+		}
+		h.regTimes[m.reg.ID] = time.Now()
+		h.regTenants[m.reg.ID] = tenant
+		e.flight.Record(obs.FlightRecord{
+			Seq: h.lastSeq, Session: m.session, Shard: sh.idx, Proc: -1,
+			Stage: obs.StageUpdate, Detail: "register " + m.reg.ID + " (" + tenant + ")",
+		})
+		e.drainUpdates(sh, h) // a satisfied registration cut latches immediately
+		ups := h.pending
+		h.pending = nil
+		e.publish(sh, h, true)
+		m.reply <- shardReply{updates: ups}
+	case msgUnregister:
+		h, exists := sh.sessions[m.session]
+		if !exists {
+			m.reply <- shardReply{err: fmt.Errorf("%w: %q", ErrUnknownSession, m.session)}
+			return
+		}
+		if err := h.sess.Unregister(m.pred); err != nil {
+			m.reply <- shardReply{err: err}
+			return
+		}
+		tenant := h.regTenants[m.pred]
+		if tenant == "" {
+			tenant = "default"
+		}
+		delete(h.regTimes, m.pred)
+		delete(h.regTenants, m.pred)
+		e.publish(sh, h, true)
+		m.reply <- shardReply{tenants: map[string]int{tenant: 1}}
 	case msgClose:
 		h, exists := sh.sessions[m.session]
 		if !exists {
@@ -364,19 +475,57 @@ func (e *Engine) apply(sh *shard, m shardMsg, touched map[string]*handle) {
 		verdict, err := h.sess.FinalizeTraced(tr)
 		e.mFinalizeMillis.Observe(time.Since(start).Milliseconds())
 		e.foldFinalizeWork(tr)
+		e.drainUpdates(sh, h)
+		var preds []mux.Update
+		var tenants map[string]int
+		if h.sess.Mux() {
+			preds = h.sess.PredicateStates()
+			tenants = h.sess.Tenants()
+		}
 		e.publish(sh, h, true)
 		delete(sh.sessions, m.session)
 		e.registry.Delete(m.session)
 		sh.gauge.Add(-1)
 		sh.mSessions.Add(-1)
 		h.sess = nil
+		h.pending = nil
 		delete(touched, m.session)
 		e.flight.Record(obs.FlightRecord{
 			Seq: h.lastSeq, Session: m.session, Shard: sh.idx, Proc: -1,
 			Stage: obs.StageDisconnect, Detail: "session closed",
 		})
-		m.reply <- shardReply{verdict: verdict, err: err}
+		m.reply <- shardReply{verdict: verdict, err: err, preds: preds, tenants: tenants}
 	}
+}
+
+// drainUpdates moves a multiplexed session's freshly queued per-predicate
+// verdict updates into the handle's pending list (delivered by the next
+// query or register reply), leaving a flight record per update and a
+// per-tenant verdict-latency observation per latch. Worker-confined.
+// Session-level detection counters are bumped by publish (once per
+// session); per-predicate latches are visible in mux stats and updates.
+func (e *Engine) drainUpdates(sh *shard, h *handle) {
+	if h.sess == nil || !h.sess.Mux() {
+		return
+	}
+	ups := h.sess.Updates()
+	for _, u := range ups {
+		detail := "predicate " + u.ID + " possibly latched"
+		if u.Err != "" {
+			detail = "predicate " + u.ID + " failed: " + u.Err
+		}
+		e.flight.Record(obs.FlightRecord{
+			Seq: h.lastSeq, Session: h.id, Shard: sh.idx, Proc: -1,
+			Stage: obs.StageVerdict, Detail: detail,
+		})
+		if u.Err == "" && u.Possibly {
+			if t0, ok := h.regTimes[u.ID]; ok {
+				e.tenantVerdictLatency(u.Tenant).Observe(time.Since(t0).Milliseconds())
+			}
+		}
+		delete(h.regTimes, u.ID)
+	}
+	h.pending = append(h.pending, ups...)
 }
 
 // recordFrame leaves an append frame's post-detector lifecycle records:
@@ -476,23 +625,139 @@ func (e *Engine) Append(id string, events []Event) error {
 	return nil
 }
 
-// Query flushes a session and returns its counters.
+// Query flushes a session and returns its counters. On a multiplexed
+// session any pending verdict updates are discarded — use QueryUpdates
+// there.
 func (e *Engine) Query(id string) (SessionStats, error) {
+	st, _, err := e.QueryUpdates(id)
+	return st, err
+}
+
+// QueryUpdates is Query plus the multiplexed fan-out: the per-predicate
+// verdict updates queued since the previous drain.
+func (e *Engine) QueryUpdates(id string) (SessionStats, []mux.Update, error) {
 	r, err := e.sync(id, shardMsg{kind: msgQuery})
 	if err != nil {
-		return SessionStats{}, err
+		return SessionStats{}, nil, err
 	}
-	return r.stats, r.err
+	return r.stats, r.updates, r.err
+}
+
+// Register attaches a predicate to an open multiplexed session, counted
+// against the owning tenant's cap (Config.MaxPredicatesPerTenant). The
+// returned updates are any verdicts that latched at the registration cut
+// itself.
+func (e *Engine) Register(session string, r RegisterSpec) ([]mux.Update, error) {
+	tenant := r.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	if err := e.reserveTenant(tenant); err != nil {
+		return nil, err
+	}
+	rep, err := e.sync(session, shardMsg{kind: msgRegister, reg: r})
+	if err == nil {
+		err = rep.err
+	}
+	if err != nil {
+		e.releaseTenant(tenant, 1)
+		return nil, err
+	}
+	return rep.updates, nil
+}
+
+// Unregister detaches a predicate from a multiplexed session, returning
+// its slot to the owning tenant.
+func (e *Engine) Unregister(session, predID string) error {
+	rep, err := e.sync(session, shardMsg{kind: msgUnregister, pred: predID})
+	if err == nil {
+		err = rep.err
+	}
+	if err != nil {
+		return err
+	}
+	for t, n := range rep.tenants {
+		e.releaseTenant(t, n)
+	}
+	return nil
 }
 
 // CloseSession finalizes a session and returns its verdict (including
-// Definitely when the spec retained the trace).
+// Definitely when the spec retained the trace). A multiplexed session's
+// remaining registrations are returned to their tenants.
 func (e *Engine) CloseSession(id string) (Verdict, error) {
+	v, _, err := e.ClosePredicates(id)
+	return v, err
+}
+
+// ClosePredicates is CloseSession plus the multiplexed fan-out: the
+// final state of every still-registered predicate.
+func (e *Engine) ClosePredicates(id string) (Verdict, []mux.Update, error) {
 	r, err := e.sync(id, shardMsg{kind: msgClose})
 	if err != nil {
-		return Verdict{}, err
+		return Verdict{}, nil, err
 	}
-	return r.verdict, r.err
+	for t, n := range r.tenants {
+		e.releaseTenant(t, n)
+	}
+	return r.verdict, r.preds, r.err
+}
+
+// reserveTenant admits one registration against the tenant's cap,
+// updating the per-tenant gauge and the registered-predicates SLO.
+func (e *Engine) reserveTenant(tenant string) error {
+	e.predMu.Lock()
+	if max := e.cfg.MaxPredicatesPerTenant; max > 0 && e.tenantCounts[tenant] >= max {
+		n := e.tenantCounts[tenant]
+		e.predMu.Unlock()
+		return fmt.Errorf("stream: tenant %q holds %d registered predicates (limit %d)", tenant, n, max)
+	}
+	e.tenantCounts[tenant]++
+	e.predTotal++
+	total := e.predTotal
+	e.predMu.Unlock()
+	e.tenantGauge(tenant).Add(1)
+	if max := e.cfg.SLO.RegisteredPredicates; max > 0 && total > max && !e.sloPredFired.Swap(true) {
+		e.breach(SLORegisteredPredicates, "registered predicates "+
+			strconv.Itoa(total)+" > "+strconv.Itoa(max))
+	}
+	return nil
+}
+
+// releaseTenant returns n registrations to the tenant.
+func (e *Engine) releaseTenant(tenant string, n int) {
+	if n <= 0 {
+		return
+	}
+	e.predMu.Lock()
+	e.tenantCounts[tenant] -= n
+	if e.tenantCounts[tenant] <= 0 {
+		delete(e.tenantCounts, tenant)
+	}
+	e.predTotal -= n
+	e.predMu.Unlock()
+	e.tenantGauge(tenant).Add(int64(-n))
+}
+
+// tenantGauge interns the tenant's registered-predicates gauge.
+func (e *Engine) tenantGauge(tenant string) *obs.Gauge {
+	if v, ok := e.tenantGauges.Load(tenant); ok {
+		return v.(*obs.Gauge)
+	}
+	g := e.cfg.Metrics.Gauge(obs.Label("mux_registered_predicates", "tenant", tenant))
+	v, _ := e.tenantGauges.LoadOrStore(tenant, g)
+	return v.(*obs.Gauge)
+}
+
+// tenantVerdictLatency interns the tenant's register→latch latency
+// histogram.
+func (e *Engine) tenantVerdictLatency(tenant string) *obs.Histogram {
+	if v, ok := e.tenantLatency.Load(tenant); ok {
+		return v.(*obs.Histogram)
+	}
+	hist := e.cfg.Metrics.Histogram(obs.Label("mux_verdict_latency_millis", "tenant", tenant), obs.ExpBuckets(1, 16)...)
+	v, _ := e.tenantLatency.LoadOrStore(tenant, hist)
+	return v.(*obs.Histogram)
 }
 
 // Possibly returns a session's latched verdict without synchronizing with
@@ -531,6 +796,15 @@ func (e *Engine) Snapshot() Snapshot {
 		snap.Sessions = append(snap.Sessions, v.(*handle).stats())
 		return true
 	})
+	e.predMu.Lock()
+	snap.Predicates = e.predTotal
+	if len(e.tenantCounts) > 0 {
+		snap.Tenants = make(map[string]int, len(e.tenantCounts))
+		for t, n := range e.tenantCounts {
+			snap.Tenants[t] = n
+		}
+	}
+	e.predMu.Unlock()
 	return snap
 }
 

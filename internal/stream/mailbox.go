@@ -1,6 +1,10 @@
 package stream
 
-import "sync"
+import (
+	"sync"
+
+	"github.com/distributed-predicates/gpd/internal/mux"
+)
 
 // OverflowPolicy selects what a full shard mailbox does with new append
 // traffic.
@@ -34,6 +38,8 @@ const (
 	msgAppend
 	msgQuery
 	msgClose
+	msgRegister
+	msgUnregister
 )
 
 // shardMsg is one unit of work for a shard worker.
@@ -43,6 +49,8 @@ type shardMsg struct {
 	seq     uint64 // flight-recorder frame sequence (append frames only)
 	spec    Spec
 	events  []Event
+	reg     RegisterSpec    // register
+	pred    string          // unregister
 	reply   chan shardReply // sync ops only; buffered, never blocks the worker
 }
 
@@ -51,6 +59,9 @@ type shardReply struct {
 	err     error
 	verdict Verdict
 	stats   SessionStats
+	updates []mux.Update   // drained verdict updates (query/register on mux sessions)
+	preds   []mux.Update   // close-time per-predicate fan-out
+	tenants map[string]int // per-tenant registrations released by a close
 }
 
 // mailbox is a bounded MPSC ring buffer with explicit overflow policy and

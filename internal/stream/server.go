@@ -224,21 +224,43 @@ func (s *Server) handle(req Request) Response {
 		// lagging false is refined by the next append or a query.
 		resp.Possibly, _ = s.eng.Possibly(req.Session)
 	case "query":
-		st, err := s.eng.Query(req.Session)
+		st, updates, err := s.eng.QueryUpdates(req.Session)
 		if err != nil {
 			return fail(err)
 		}
 		resp.OK = true
 		resp.Possibly = st.Possibly
 		resp.Stats = &st
+		resp.Updates = updates
+	case "register":
+		if req.Register == nil {
+			return fail(errors.New("stream: register without predicate spec"))
+		}
+		updates, err := s.eng.Register(req.Session, *req.Register)
+		if err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+		resp.Updates = updates
+		resp.Possibly, _ = s.eng.Possibly(req.Session)
+	case "unregister":
+		if req.Predicate == "" {
+			return fail(errors.New("stream: unregister without predicate id"))
+		}
+		if err := s.eng.Unregister(req.Session, req.Predicate); err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+		resp.Possibly, _ = s.eng.Possibly(req.Session)
 	case "close":
-		verdict, err := s.eng.CloseSession(req.Session)
+		verdict, preds, err := s.eng.ClosePredicates(req.Session)
 		if err != nil {
 			return fail(err)
 		}
 		resp.OK = true
 		resp.Possibly = verdict.Possibly
 		resp.Verdict = &verdict
+		resp.Predicates = preds
 	default:
 		return fail(fmt.Errorf("stream: unknown request type %q", req.Type))
 	}

@@ -5,6 +5,7 @@ import (
 
 	"github.com/distributed-predicates/gpd/internal/computation"
 	"github.com/distributed-predicates/gpd/internal/detect"
+	"github.com/distributed-predicates/gpd/internal/mux"
 	"github.com/distributed-predicates/gpd/internal/obs"
 	"github.com/distributed-predicates/gpd/internal/pred"
 )
@@ -14,43 +15,61 @@ import (
 // at Close.
 const varName = "x"
 
+// sessionPred is the reserved registration id of a single-predicate
+// session's detector inside its multiplexer group.
+const sessionPred = "_session"
+
 // Session is one monitored application instance: it ingests that
-// application's timestamped events, re-establishes causal order, and runs
-// the incremental detector resolved from the detector registry for its
-// predicate spec. The session knows nothing about predicate families —
-// it holds an opaque detect.Detector, so every incremental-capable
-// family the registry knows streams through the same transport code. A
-// Session is confined to one goroutine (the engine gives each session to
-// exactly one shard worker); it is not safe for concurrent use.
+// application's timestamped events, re-establishes causal order, and
+// runs incremental detectors resolved from the detector registry. Every
+// session is backed by a mux.Group — causal delivery happens once, and
+// detectors attach to it:
 //
-// Step buffers and delivers events; Flush advances the detector (batched,
-// so a shard amortises closure recomputations over a whole mailbox
-// drain); Finalize seals the stream and adds the Definitely verdict when
-// the spec retained the trace and the detector can decide it.
+//   - A single-predicate session (Spec.Pred or Spec.Kind) carries one
+//     all-events registration with exactly the pre-multiplexer
+//     semantics: the detector sees every event under raw timestamps, a
+//     detector error kills the session, and Close can decide Definitely
+//     from the retained trace.
+//   - A multiplexed session (Spec.Mux) starts empty; predicates are
+//     registered and unregistered mid-stream, each stepped only on the
+//     events its relevance set touches, under projected timestamps.
+//     Events must tag the variable they update (Event.Var). Possibly
+//     reports whether ANY registered predicate has latched; per-
+//     predicate verdicts fan out as sequence-numbered updates.
+//
+// A Session is confined to one goroutine (the engine gives each session
+// to exactly one shard worker); it is not safe for concurrent use.
 type Session struct {
 	spec    Spec
-	ps      pred.Spec       // canonical predicate (parsed Pred or mapped Kind)
-	payload detect.Payload  // event field the detector consumes
-	det     detect.Detector // the registry-resolved incremental detector
-	err     error           // sticky failure; the session is dead once set
-
-	// Causal delivery.
-	delivered []int64   // events delivered per process
-	lastVC    [][]int64 // timestamp of the last delivered event per process
-	holdback  []Event   // arrived but not yet causally deliverable
+	mux     bool           // multiplexed session (Spec.Mux)
+	ps      pred.Spec      // canonical predicate (single-predicate sessions)
+	payload detect.Payload // event field the detector consumes (single)
+	group   *mux.Group     // causal delivery + routing, owns the detectors
+	err     error          // sticky failure; the session is dead once set
 
 	retained []Event // full delivered trace when spec.Retain
 	possibly bool    // latched verdict as of the last Flush
 	flushes  int
 }
 
-// NewSession validates the spec, resolves its family's incremental
-// detector from the registry, and builds the session. Families without
-// an incremental detector (cnf) are rejected: they need the sealed
-// computation and cannot stream.
+// NewSession validates the spec and builds the session. For
+// single-predicate specs the family's incremental detector is resolved
+// from the registry; families without one (cnf) are rejected — they
+// need the sealed computation and cannot stream.
 func NewSession(spec Spec) (*Session, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	s := &Session{
+		spec:  spec,
+		group: mux.NewGroup(spec.Procs),
+	}
+	if spec.Retain {
+		s.group.OnDeliver(func(ev Event) { s.retained = append(s.retained, ev) })
+	}
+	if spec.Mux {
+		s.mux = true
+		return s, nil
 	}
 	ps, err := spec.Canonical()
 	if err != nil {
@@ -60,63 +79,108 @@ func NewSession(spec Spec) (*Session, error) {
 	if !ok || !entry.Caps.Incremental {
 		return nil, fmt.Errorf("stream: predicate family %v has no incremental detector", ps.Family)
 	}
-	n := spec.Procs
-	det, err := entry.New(ps, detect.Config{
-		Procs:    n,
-		Involved: spec.Involved,
-		Init:     spec.Init,
-		Retain:   spec.Retain,
-	})
-	if err != nil {
+	s.ps = ps
+	s.payload = entry.Caps.Payload
+	if err := s.group.Register(mux.Registration{
+		ID:        sessionPred,
+		Spec:      ps,
+		Involved:  spec.Involved,
+		Init:      spec.Init,
+		Retain:    spec.Retain,
+		AllEvents: true,
+	}); err != nil {
 		return nil, fmt.Errorf("stream: %w", err)
 	}
-	s := &Session{
-		spec:      spec,
-		ps:        ps,
-		payload:   entry.Caps.Payload,
-		det:       det,
-		delivered: make([]int64, n),
-		lastVC:    make([][]int64, n),
-	}
-	s.possibly = det.Possibly() // a satisfied initial cut latches immediately
+	s.possibly = s.group.Possibly(sessionPred) // a satisfied initial cut latches immediately
 	return s, nil
 }
 
-// Family returns the canonical predicate family of the session.
+// Family returns the canonical predicate family of a single-predicate
+// session (zero for multiplexed sessions; see KindLabel).
 func (s *Session) Family() pred.Family { return s.ps.Family }
+
+// KindLabel names the session for stats surfaces: the predicate family
+// of a single-predicate session, "mux" for a multiplexed one.
+func (s *Session) KindLabel() string {
+	if s.mux {
+		return "mux"
+	}
+	return s.ps.Family.String()
+}
+
+// Mux reports whether the session is multiplexed.
+func (s *Session) Mux() bool { return s.mux }
 
 // SetTrace routes the session's incremental-detector work counters
 // (closure recomputations of the sum-family trackers) into the given
-// trace. A nil trace disables accounting. Finalize work is accounted
-// separately via FinalizeTraced.
+// trace. A nil trace disables accounting; multiplexed sessions are not
+// traced. Finalize work is accounted separately via FinalizeTraced.
 func (s *Session) SetTrace(tr *obs.Trace) {
-	if t, ok := s.det.(detect.Traceable); ok {
+	if s.mux {
+		return
+	}
+	if t, ok := s.group.Detector(sessionPred).(detect.Traceable); ok {
 		t.SetTrace(tr)
 	}
 }
 
+// Register attaches a predicate to a multiplexed session. The predicate
+// observes the stream from the registration cut onward; its variable is
+// seeded with the last delivered values unless Init is given.
+func (s *Session) Register(r mux.Registration) error {
+	if !s.mux {
+		return fmt.Errorf("stream: session is not multiplexed; open it with mux")
+	}
+	if s.err != nil {
+		return s.err
+	}
+	r.AllEvents = false
+	r.Retain = false // multiplexed sessions never decide Definitely
+	return s.group.Register(r)
+}
+
+// Unregister detaches a predicate from a multiplexed session.
+func (s *Session) Unregister(id string) error {
+	if !s.mux {
+		return fmt.Errorf("stream: session is not multiplexed; open it with mux")
+	}
+	return s.group.Unregister(id)
+}
+
+// Updates drains the verdict updates queued since the last call:
+// sequence-numbered per predicate, one entry per latch or per-predicate
+// failure.
+func (s *Session) Updates() []mux.Update { return s.group.Drain() }
+
+// PredicateStates reports the current state of every registered
+// predicate (the close-time fan-out).
+func (s *Session) PredicateStates() []mux.Update { return s.group.States() }
+
+// MuxStats returns the group's multiplexing counters.
+func (s *Session) MuxStats() mux.Stats { return s.group.Stats() }
+
+// Tenants returns the per-tenant registered-predicate counts.
+func (s *Session) Tenants() map[string]int { return s.group.Tenants() }
+
 // Step ingests one event. Events of one process must arrive in local
 // order; arbitrary interleaving (even causal reordering) across processes
 // is handled by the holdback buffer. Returns the session's sticky error,
-// if any.
+// if any. In a multiplexed session a single detector's failure is NOT a
+// session error — it surfaces in that predicate's update stream.
 func (s *Session) Step(ev Event) error {
 	if s.err != nil {
 		return s.err
 	}
-	if ev.Proc < 0 || ev.Proc >= s.spec.Procs {
-		return s.fail(fmt.Errorf("stream: event for process %d of %d", ev.Proc, s.spec.Procs))
+	if err := s.group.Step(ev); err != nil {
+		return s.fail(err)
 	}
-	if len(ev.VC) != s.spec.Procs {
-		return s.fail(fmt.Errorf("stream: event timestamp has %d components, want %d", len(ev.VC), s.spec.Procs))
+	if !s.mux {
+		if perr := s.group.PredicateErr(sessionPred); perr != nil {
+			return s.fail(fmt.Errorf("stream: %w", perr))
+		}
 	}
-	own := ev.VC[ev.Proc]
-	if own <= s.delivered[ev.Proc] && !s.heldBack(ev.Proc, own) {
-		return nil // duplicate delivery (e.g. client retry): idempotent
-	}
-	s.holdback = append(s.holdback, ev)
-	s.drain()
 	if s.spec.MaxWindow > 0 {
-		if len(s.holdback) > s.spec.MaxWindow {
+		if hb := s.group.Holdback(); hb > s.spec.MaxWindow {
 			return s.fail(fmt.Errorf("stream: holdback exceeds max window %d (gap in the stream?)", s.spec.MaxWindow))
 		}
 		if w := s.Window(); w > s.spec.MaxWindow {
@@ -126,81 +190,23 @@ func (s *Session) Step(ev Event) error {
 	return s.err
 }
 
-// heldBack reports whether the event with the given own-component is
-// already waiting in the holdback buffer.
-func (s *Session) heldBack(proc int, own int64) bool {
-	for _, h := range s.holdback {
-		if h.Proc == proc && h.VC[proc] == own {
-			return true
-		}
-	}
-	return false
-}
-
 // fail latches the session error.
 func (s *Session) fail(err error) error {
 	s.err = err
 	return err
 }
 
-// drain delivers every causally deliverable holdback event.
-func (s *Session) drain() {
-	for {
-		progress := false
-		kept := s.holdback[:0]
-		for _, ev := range s.holdback {
-			if s.err == nil && s.deliverable(ev) {
-				s.deliver(ev)
-				progress = true
-			} else {
-				kept = append(kept, ev)
-			}
-		}
-		s.holdback = kept
-		if !progress {
-			return
-		}
-	}
-}
-
-// deliverable implements the causal delivery condition: the event is the
-// next local event of its process and its cross-process dependencies have
-// all been delivered.
-func (s *Session) deliverable(ev Event) bool {
-	if ev.VC[ev.Proc] != s.delivered[ev.Proc]+1 {
-		return false
-	}
-	for q, v := range ev.VC {
-		if q != ev.Proc && v > s.delivered[q] {
-			return false
-		}
-	}
-	return true
-}
-
-// deliver feeds one causally ready event to the detector.
-func (s *Session) deliver(ev Event) {
-	p := ev.Proc
-	s.delivered[p] = ev.VC[p]
-	s.lastVC[p] = ev.VC
-	if s.spec.Retain {
-		s.retained = append(s.retained, ev)
-	}
-	if err := s.det.Step(ev); err != nil {
-		s.fail(fmt.Errorf("stream: %w", err))
-	}
-}
-
-// Flush advances the detector over everything delivered since the last
-// flush (one elimination sweep or closure recomputation per call, however
-// many events arrived), prunes the detector window below the common
-// vector-clock frontier, and returns the latched Possibly verdict.
+// Flush advances every detector stepped since the last flush (one
+// elimination sweep or closure recomputation per detector, however many
+// events arrived), prunes detector windows and projections below the
+// delivered frontier, and returns the latched Possibly verdict — for a
+// multiplexed session, whether ANY registered predicate has latched.
 func (s *Session) Flush() bool {
 	if s.err != nil {
 		return s.possibly
 	}
 	s.flushes++
-	if s.det.Flush() {
+	if s.group.Flush() {
 		s.possibly = true
 	}
 	return s.possibly
@@ -213,30 +219,32 @@ func (s *Session) Possibly() bool { return s.possibly }
 func (s *Session) Err() error { return s.err }
 
 // Delivered returns the total number of causally delivered events.
-func (s *Session) Delivered() int64 {
-	var t int64
-	for _, d := range s.delivered {
-		t += d
-	}
-	return t
-}
+func (s *Session) Delivered() int64 { return s.group.Delivered() }
 
 // Holdback returns the number of buffered undeliverable events.
-func (s *Session) Holdback() int { return len(s.holdback) }
+func (s *Session) Holdback() int { return s.group.Holdback() }
 
-// Window returns the detector's retained state size: queued candidates
-// for conjunctive sessions, unpruned window events for the range-tracking
-// families.
-func (s *Session) Window() int { return s.det.Window() }
+// Window returns the retained detector state size: the live detector
+// window of a single-predicate session, the summed windows (as of the
+// last flush) of a multiplexed one.
+func (s *Session) Window() int {
+	if s.mux {
+		return s.group.Window()
+	}
+	if det := s.group.Detector(sessionPred); det != nil {
+		return det.Window()
+	}
+	return 0
+}
 
 // Flushes returns the number of detector flushes performed.
 func (s *Session) Flushes() int { return s.flushes }
 
-// Finalize seals the stream: it flushes the detector, verifies the stream
-// was gapless, and — when the spec retained the trace — rebuilds the
-// computation and decides Definitely with the detector's finalizer. The
-// Possibly verdict in the returned Verdict is exact for the complete
-// computation.
+// Finalize seals the stream: it flushes the detectors, verifies the
+// stream was gapless, and — when a single-predicate spec retained the
+// trace — rebuilds the computation and decides Definitely with the
+// detector's finalizer. The Possibly verdict in the returned Verdict is
+// exact for the complete computation.
 func (s *Session) Finalize() (Verdict, error) {
 	return s.FinalizeTraced(nil)
 }
@@ -256,13 +264,13 @@ func (s *Session) FinalizeTraced(tr *obs.Trace) (Verdict, error) {
 	if s.err != nil {
 		return v, s.err
 	}
-	if len(s.holdback) > 0 {
-		return v, s.fail(fmt.Errorf("stream: %d events undeliverable at close (gaps in the stream)", len(s.holdback)))
+	if hb := s.group.Holdback(); hb > 0 {
+		return v, s.fail(fmt.Errorf("stream: %d events undeliverable at close (gaps in the stream)", hb))
 	}
-	if !s.spec.Retain {
+	if s.mux || !s.spec.Retain {
 		return v, nil
 	}
-	fin, ok := s.det.(detect.Finalizer)
+	fin, ok := s.group.Detector(sessionPred).(detect.Finalizer)
 	if !ok {
 		return v, nil // the detector cannot decide Definitely; Possibly stands
 	}
@@ -316,7 +324,7 @@ func (s *Session) buildComputation() (*computation.Computation, error) {
 	c := computation.New()
 	for p := 0; p < s.spec.Procs; p++ {
 		c.AddProcess() // creates the initial event at index 0
-		for i := int64(1); i <= s.delivered[p]; i++ {
+		for i := int64(1); i <= s.group.DeliveredOn(p); i++ {
 			c.AddInternal(computation.ProcID(p))
 		}
 		var init int64

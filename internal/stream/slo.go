@@ -24,11 +24,15 @@ const (
 	// SLOShedFrames fires when the engine has shed more frames than the
 	// threshold (mailbox overflow plus unknown-session drops).
 	SLOShedFrames = "shed_frames"
+	// SLORegisteredPredicates fires when the engine-wide count of
+	// registered predicates (across every multiplexed session) exceeds
+	// the threshold.
+	SLORegisteredPredicates = "registered_predicates"
 )
 
 // sloRules lists every rule so NewEngine can pre-intern the breach
 // counters — a rule that never fires still exports an explicit zero.
-var sloRules = []string{SLOVerdictLatency, SLOHoldbackDepth, SLOMailboxDepth, SLOShedFrames}
+var sloRules = []string{SLOVerdictLatency, SLOHoldbackDepth, SLOMailboxDepth, SLOShedFrames, SLORegisteredPredicates}
 
 // SLOConfig is the engine's latency/backlog watchdog. A zero threshold
 // disables its rule; a zero config disables the watchdog entirely. On
@@ -49,6 +53,9 @@ type SLOConfig struct {
 	MailboxDepth int
 	// ShedFrames is the engine-wide shed frame budget.
 	ShedFrames uint64
+	// RegisteredPredicates is the engine-wide registered-predicate
+	// budget across multiplexed sessions. Fires at most once per engine.
+	RegisteredPredicates int
 	// DumpPath is the file the flight ring is dumped to on breach (""
 	// disables dumping). The write is atomic: a temp file in the same
 	// directory, renamed into place.

@@ -108,6 +108,13 @@ type Spec struct {
 	// exceeding it fails rather than grow without bound (a silent or
 	// partitioned process prevents frontier pruning). 0 means no bound.
 	MaxWindow int `json:"max_window,omitempty"`
+	// Mux opens a multiplexed session: no fixed predicate — predicates
+	// are registered and unregistered mid-stream (wire types "register"
+	// and "unregister"), each stepped only on the events its relevance
+	// set touches. Events must tag the variable they update (Event.Var).
+	// Mutually exclusive with Pred/Kind and the per-predicate fields
+	// (Involved, K, Levels, Init, Retain).
+	Mux bool `json:"mux,omitempty"`
 }
 
 // Canonical converts the wire spec into the canonical predicate
@@ -149,6 +156,18 @@ func (sp Spec) Canonical() (pred.Spec, error) {
 func (sp Spec) Validate() error {
 	if sp.Procs < 1 {
 		return fmt.Errorf("stream: spec needs procs >= 1, got %d", sp.Procs)
+	}
+	if sp.Mux {
+		if sp.Pred != "" || sp.Kind != 0 {
+			return fmt.Errorf("stream: mux sessions carry no fixed predicate; register predicates instead")
+		}
+		if len(sp.Involved) > 0 || sp.K != 0 || len(sp.Levels) > 0 || len(sp.Init) > 0 || sp.Retain {
+			return fmt.Errorf("stream: mux sessions take per-predicate options at register time, not in the spec")
+		}
+		if sp.MaxWindow < 0 {
+			return fmt.Errorf("stream: negative max window %d", sp.MaxWindow)
+		}
+		return nil
 	}
 	ps, err := sp.Canonical()
 	if err != nil {

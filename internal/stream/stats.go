@@ -16,6 +16,12 @@ type SessionStats struct {
 	Flushes   int    `json:"flushes"`   // detector flushes
 	Possibly  bool   `json:"possibly"`  // latched verdict
 	Error     string `json:"error,omitempty"`
+
+	// Multiplexed sessions only: predicate counts and routing economy.
+	Registered int   `json:"registered,omitempty"` // predicates registered
+	Active     int   `json:"active,omitempty"`     // predicates still stepping
+	Steps      int64 `json:"steps,omitempty"`      // detector steps taken
+	Skipped    int64 `json:"skipped,omitempty"`    // steps avoided by relevance routing
 }
 
 // ShardStats is the per-shard counter block.
@@ -39,4 +45,9 @@ type Snapshot struct {
 	Events     uint64         `json:"events"`     // total ingested
 	Dropped    uint64         `json:"dropped"`    // total dropped frames
 	Detections uint64         `json:"detections"` // total latched verdicts
+
+	// Multiplexing control plane: predicates currently registered across
+	// every multiplexed session, total and per tenant.
+	Predicates int            `json:"predicates,omitempty"`
+	Tenants    map[string]int `json:"tenants,omitempty"`
 }

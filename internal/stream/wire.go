@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"github.com/distributed-predicates/gpd/internal/mux"
 )
 
 // Wire protocol: length-prefixed JSON frames over TCP. Each frame is a
@@ -32,10 +34,39 @@ var (
 // Request is a client-to-server message.
 type Request struct {
 	V       int     `json:"v"`
-	Type    string  `json:"type"` // "open", "append", "query", "close"
+	Type    string  `json:"type"` // "open", "append", "query", "close", "register", "unregister"
 	Session string  `json:"session"`
 	Spec    *Spec   `json:"spec,omitempty"`   // open
 	Events  []Event `json:"events,omitempty"` // append
+
+	// Register carries the predicate to attach to an open multiplexed
+	// session (type "register"); Predicate names the one to detach
+	// (type "unregister").
+	Register  *RegisterSpec `json:"register,omitempty"`
+	Predicate string        `json:"predicate,omitempty"`
+}
+
+// RegisterSpec is the wire form of a predicate registration on a
+// multiplexed session: who owns it, what it detects, and optionally the
+// initial per-process values when the registration cut's seeded state
+// should be overridden.
+type RegisterSpec struct {
+	// ID names the predicate within its session; update fan-out and
+	// unregister refer to it.
+	ID string `json:"id"`
+	// Tenant is the owning tenant for accounting and per-tenant limits
+	// ("" means "default").
+	Tenant string `json:"tenant,omitempty"`
+	// Pred is the predicate in the canonical grammar (e.g. "all(x)",
+	// "sum(x) >= 5", "inflight == 0"). Any incremental-capable family.
+	Pred string `json:"pred"`
+	// Involved restricts a conjunctive predicate to these processes; nil
+	// means all.
+	Involved []int `json:"involved,omitempty"`
+	// Init overrides the seeded initial per-process values (sum: the
+	// variable; boolean families: 0/1 truth). nil seeds from the last
+	// delivered values at the registration cut.
+	Init []int64 `json:"init,omitempty"`
 }
 
 // Response is the server's reply to each request frame.
@@ -46,6 +77,13 @@ type Response struct {
 	Possibly bool          `json:"possibly,omitempty"` // latched verdict as of the reply
 	Verdict  *Verdict      `json:"verdict,omitempty"`  // close
 	Stats    *SessionStats `json:"stats,omitempty"`    // query
+
+	// Updates carries the per-predicate verdict updates drained since
+	// the previous drain (query and register replies on multiplexed
+	// sessions); Predicates is the close-time fan-out: the final state
+	// of every still-registered predicate.
+	Updates    []mux.Update `json:"updates,omitempty"`
+	Predicates []mux.Update `json:"predicates,omitempty"`
 }
 
 // WriteFrame writes one length-prefixed frame.
