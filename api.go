@@ -42,6 +42,10 @@ const (
 	FamilyCNF = pred.CNF
 	// FamilyInFlight is inflight relop k on channel occupancy.
 	FamilyInFlight = pred.InFlight
+	// FamilyEquilevel is equilevel(var): L — the conjunction all(var)
+	// restricted to the consistent cuts at level L (exactly L non-initial
+	// events executed), per Garg & Streit.
+	FamilyEquilevel = pred.Equilevel
 )
 
 // ParseSpec parses the predicate grammar shared by every surface:
@@ -53,6 +57,7 @@ const (
 //	levels(<var>): m1, m2, ...  symmetric predicate by level set
 //	inflight <relop> <k>        messages in flight
 //	cnf(<var>): (0 | !1) & (2)  singular CNF; literals are process ids
+//	equilevel(<var>): <L>       all(var) restricted to cuts at level L
 func ParseSpec(text string) (Spec, error) { return pred.Parse(text) }
 
 // Modality selects between the weak and strong interpretation of a
@@ -117,6 +122,7 @@ type detectOptions struct {
 	route       DetectStrategy
 	strategy    SingularStrategy
 	strategySet bool
+	parallelism int
 	trace       *obs.Trace
 }
 
@@ -125,17 +131,45 @@ func WithModality(m Modality) Option {
 	return func(o *detectOptions) { o.modality = m }
 }
 
-// WithDetectStrategy selects the detection route; the default is
-// StrategyBatch.
-func WithDetectStrategy(s DetectStrategy) Option {
-	return func(o *detectOptions) { o.route = s }
+// Strategy is the type set of the WithStrategy option: either a
+// detection route (StrategyBatch, StrategyReplay — how Detect computes
+// its answer) or a singular algorithm (StrategyAuto, StrategyChainCover,
+// ... — which algorithm decides a cnf predicate). The two namespaces
+// were historically split between WithDetectStrategy and WithStrategy;
+// they now share one option, disambiguated by type at compile time.
+type Strategy interface {
+	DetectStrategy | SingularStrategy
 }
 
-// WithStrategy selects the singular detection algorithm. It applies only
-// to FamilyCNF specs under ModalityPossibly; Detect rejects any other
-// combination instead of silently ignoring the option.
-func WithStrategy(s SingularStrategy) Option {
-	return func(o *detectOptions) { o.strategy = s; o.strategySet = true }
+// WithStrategy selects a strategy from either namespace:
+//
+//   - a DetectStrategy picks the detection route; the default is
+//     StrategyBatch.
+//   - a SingularStrategy picks the singular detection algorithm. It
+//     applies only to FamilyCNF specs under ModalityPossibly; Detect
+//     rejects any other combination instead of silently ignoring the
+//     option.
+func WithStrategy[S Strategy](s S) Option {
+	return func(o *detectOptions) {
+		switch v := any(s).(type) {
+		case DetectStrategy:
+			o.route = v
+		case SingularStrategy:
+			o.strategy = v
+			o.strategySet = true
+		}
+	}
+}
+
+// WithParallelism bounds the worker pool behind the batch kernels: the
+// lattice level sweeps, the max-flow phases of the sum closures, the
+// chain-cover scans and the CPDHB selection blocks all draw from n
+// workers. The default 0 resolves to GOMAXPROCS; 1 runs the exact
+// sequential algorithms. Verdicts, witnesses and work counters are
+// bit-identical for every worker count — the option trades wall-clock
+// time only. Detect rejects negative values.
+func WithParallelism(n int) Option {
+	return func(o *detectOptions) { o.parallelism = n }
 }
 
 // WithTrace routes the run's spans and work counters into the given
@@ -156,7 +190,8 @@ type Report struct {
 	// Witness, when non-nil, is a consistent cut satisfying the
 	// predicate. Produced only under ModalityPossibly with
 	// StrategyBatch, and only by the families whose detectors construct
-	// cuts (all, sum ==, count, xor, levels, inflight ==, cnf).
+	// cuts (all, sum ==, count, xor, levels, inflight ==, cnf,
+	// equilevel).
 	Witness Cut
 	// Strategy is the singular algorithm that produced the answer
 	// (FamilyCNF under ModalityPossibly only).
@@ -183,7 +218,7 @@ type Report struct {
 // symmetric predicates, the singular algorithms for CNF — and falling
 // back to lattice reachability where only the exponential route is known
 // (the Definitely side of sum, symmetric and CNF; see the package
-// comment). WithDetectStrategy(StrategyReplay) instead drives the
+// comment). WithStrategy(StrategyReplay) instead drives the
 // family's incremental detector — the state machine the streaming server
 // runs — over a causal linearization of the computation, cross-checkable
 // against the batch verdict.
@@ -205,6 +240,9 @@ func Detect(c *Computation, s Spec, opts ...Option) (Report, error) {
 	case StrategyBatch, StrategyReplay:
 	default:
 		return Report{}, fmt.Errorf("gpd: unknown detect strategy %v", o.route)
+	}
+	if o.parallelism < 0 {
+		return Report{}, fmt.Errorf("gpd: parallelism %d is negative; use 0 for GOMAXPROCS", o.parallelism)
 	}
 	if o.strategySet {
 		if s.Family != FamilyCNF {
@@ -228,7 +266,7 @@ func Detect(c *Computation, s Spec, opts ...Option) (Report, error) {
 	if o.route == StrategyReplay {
 		res, err = detect.Replay(c, s, o.modality, tr)
 	} else {
-		res, err = detect.Batch(c, s, o.modality, detect.Options{Singular: o.strategy}, tr)
+		res, err = detect.Batch(c, s, o.modality, detect.Options{Singular: o.strategy, Parallelism: o.parallelism}, tr)
 	}
 	done()
 	if err != nil {

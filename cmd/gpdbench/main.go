@@ -8,6 +8,7 @@
 //	gpdbench -list                  # list experiment ids
 //	gpdbench -report                # trace a detection workload, print its work report
 //	gpdbench -obs-baseline out.json # measure instrumentation overhead on stream ingest
+//	gpdbench -parallel-speedup      # time the lattice kernel sequential vs parallel
 //
 // -report runs every detector family through gpd.Detect on a simulated
 // token-ring trace with a shared trace and prints the accumulated work
@@ -15,7 +16,11 @@
 // BenchmarkStreamIngest workload twice — metrics registry off, then on —
 // and writes a JSON baseline recording the throughput of both runs and
 // the relative overhead; CI tracks the committed BENCH_obs.json against
-// the < 5% budget.
+// the < 5% budget. -parallel-speedup times the level-set BFS sweep (the
+// worst-case kernel every exponential route funnels through) at one
+// worker and at -par-cores workers, checks the verdicts are identical,
+// and prints the speedup, warning when a multi-core host gains less
+// than 1.5x.
 package main
 
 import (
@@ -24,11 +29,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	gpd "github.com/distributed-predicates/gpd"
+	"github.com/distributed-predicates/gpd/internal/computation"
 	"github.com/distributed-predicates/gpd/internal/experiments"
+	"github.com/distributed-predicates/gpd/internal/gen"
+	"github.com/distributed-predicates/gpd/internal/lattice"
 	"github.com/distributed-predicates/gpd/internal/obs"
 	"github.com/distributed-predicates/gpd/internal/stream"
 )
@@ -47,8 +56,13 @@ func run(args []string, stdout io.Writer) error {
 	report := fs.Bool("report", false, "trace one detection per family and print the work report")
 	obsBaseline := fs.String("obs-baseline", "", "measure instrumentation overhead on stream ingest and write a JSON baseline to this file (- for stdout)")
 	obsEvents := fs.Int("obs-events", 1<<18, "events per ingest measurement for -obs-baseline")
+	parSpeedup := fs.Bool("parallel-speedup", false, "time the lattice kernel at 1 worker vs -par-cores workers and print the speedup")
+	parCores := fs.Int("par-cores", 4, "worker count for -parallel-speedup")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *parSpeedup {
+		return parallelSpeedup(stdout, *parCores)
 	}
 	if *list {
 		for _, r := range experiments.All() {
@@ -103,6 +117,8 @@ func workReport(w io.Writer) error {
 		{"levels(tokens): 0, 3", gpd.ModalityPossibly},
 		{"inflight >= 1", gpd.ModalityPossibly},
 		{"cnf(tokens): (0 | 1) & (2 | 3)", gpd.ModalityPossibly},
+		{"equilevel(tokens): 3", gpd.ModalityPossibly},
+		{"equilevel(tokens): 0", gpd.ModalityDefinitely},
 	}
 	for _, r := range runs {
 		spec, err := gpd.ParseSpec(r.pred)
@@ -121,6 +137,53 @@ func workReport(w io.Writer) error {
 	}
 	fmt.Fprintln(w)
 	fmt.Fprint(w, tr.Report())
+	return nil
+}
+
+// parallelSpeedup times the parallel lattice kernel — the level-set BFS
+// behind every exponential detection route — on a message-dense random
+// computation with an unsatisfiable predicate (so the sweep visits the
+// whole lattice), at one worker and at `cores` workers, best of three
+// each. The verdicts must agree (the kernels are bit-identical by
+// construction; this is the smoke check), and on a host with at least
+// `cores` schedulable CPUs a speedup below 1.5x earns a WARN line: the
+// kernel has stopped scaling and cmd/gpdbench's report numbers are
+// suspect. The warning is advisory — single-core CI hosts cannot
+// demonstrate a speedup, so the exit status stays zero.
+func parallelSpeedup(w io.Writer, cores int) error {
+	if cores < 2 {
+		return fmt.Errorf("-par-cores must be at least 2, got %d", cores)
+	}
+	c := gen.Random(gen.Params{Seed: 42, Procs: 7, Events: 5, MsgFrac: 0.3})
+	gen.UnitStepVar(43, c, "x")
+	pred := func(cc *computation.Computation, k computation.Cut) bool {
+		return cc.SumVar("x", k) >= 1000 // unreachable: forces a full sweep
+	}
+	const rounds = 3
+	best := func(workers int) (time.Duration, bool) {
+		verdict := false
+		elapsed := time.Duration(0)
+		for i := 0; i < rounds; i++ {
+			start := time.Now()
+			verdict = lattice.DefinitelyPar(c, pred, workers, nil)
+			if d := time.Since(start); i == 0 || d < elapsed {
+				elapsed = d
+			}
+		}
+		return elapsed, verdict
+	}
+	seqTime, seqVerdict := best(1)
+	parTime, parVerdict := best(cores)
+	if seqVerdict != parVerdict {
+		return fmt.Errorf("parallel kernel diverged: sequential %v, par=%d %v", seqVerdict, cores, parVerdict)
+	}
+	speedup := float64(seqTime) / float64(parTime)
+	fmt.Fprintf(w, "lattice kernel: sequential %v, par=%d %v, speedup %.2fx (GOMAXPROCS %d)\n",
+		seqTime, cores, parTime, speedup, runtime.GOMAXPROCS(0))
+	if runtime.GOMAXPROCS(0) >= cores && speedup < 1.5 {
+		fmt.Fprintf(w, "WARN: parallel speedup %.2fx below 1.5x at %d workers on a %d-CPU host\n",
+			speedup, cores, runtime.GOMAXPROCS(0))
+	}
 	return nil
 }
 

@@ -22,6 +22,8 @@
 //	cnf(<var>): <clauses>       singular CNF over the 0/1 variable, with
 //	                            per-process literals "3" or "!3" joined by
 //	                            | within clauses and & between clauses
+//	equilevel(<var>): <L>       all(var) restricted to consistent cuts at
+//	                            level L (exactly L non-initial events)
 //
 // -replay decides the predicate by driving the family's incremental
 // detector — the state machine gpdserver runs — over a causal
@@ -59,6 +61,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	strategy := fs.String("strategy", "auto", "singular strategy: auto, receive-ordered, send-ordered, subsets, chains")
 	replay := fs.Bool("replay", false, "decide via the incremental detector replayed over the trace (cross-checkable against the default batch route)")
 	report := fs.Bool("report", false, "print the run's work counters and timed spans")
+	par := fs.Int("par", 0, "worker pool size for the batch kernels (0 = GOMAXPROCS, 1 = sequential)")
 	flight := fs.String("flight", "", "write the run's span tree as Chrome trace-event JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,9 +112,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return fmt.Errorf("read trace: %w", err)
 	}
 
-	opts := []gpd.Option{gpd.WithModality(mod)}
+	opts := []gpd.Option{gpd.WithModality(mod), gpd.WithParallelism(*par)}
 	if *replay {
-		opts = append(opts, gpd.WithDetectStrategy(gpd.StrategyReplay))
+		opts = append(opts, gpd.WithStrategy(gpd.StrategyReplay))
 	}
 	if strategySet {
 		// Detect rejects the option for non-cnf predicates and under

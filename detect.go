@@ -14,24 +14,6 @@ type LocalPredicate = conjunctive.LocalPredicate
 // ConjunctiveResult is the outcome of conjunctive detection.
 type ConjunctiveResult = conjunctive.Result
 
-// PossiblyConjunctive detects Possibly(l1 and ... and lm) for local
-// predicates, one per involved process, with the Garg–Waldecker CPDHB
-// algorithm — linear in the number of true events per process pair. It
-// returns the witness events and cut when the conjunction holds.
-func PossiblyConjunctive(c *Computation, locals map[ProcID]LocalPredicate) ConjunctiveResult {
-	return conjunctive.Detect(c, locals)
-}
-
-// DefinitelyConjunctive reports whether EVERY run of the computation
-// passes through a global state satisfying the conjunction, using Garg &
-// Waldecker's interval-overlap characterization: a selection of one true
-// interval per process whose every start happened-before every other's
-// end. Polynomial in the number of true intervals; validated against the
-// exhaustive oracle on thousands of random computations.
-func DefinitelyConjunctive(c *Computation, locals map[ProcID]LocalPredicate) bool {
-	return conjunctive.DetectDefinitely(c, locals)
-}
-
 // Singular k-CNF predicates (the paper's central objects).
 type (
 	// SingularPredicate is a CNF predicate over boolean variables, one
@@ -78,28 +60,6 @@ var (
 	ErrNotUnitStep = relsum.ErrNotUnitStep
 )
 
-// PossiblySingular detects Possibly(p) for a singular CNF predicate using
-// the chosen strategy. Detection is NP-complete in general (Theorem 1 of
-// the paper); StrategyReceiveOrdered and StrategySendOrdered are
-// polynomial when applicable, and StrategyChainCover is the best general
-// algorithm.
-func PossiblySingular(c *Computation, p *SingularPredicate, truth Truth, s SingularStrategy) (SingularResult, error) {
-	return singular.Detect(c, p, truth, s)
-}
-
-// DefinitelySingular reports whether every run of the computation passes
-// through a cut satisfying the singular predicate. No polynomial algorithm
-// is known for this modality (the paper treats Possibly); this implements
-// it by lattice-region reachability, exponential in the worst case.
-func DefinitelySingular(c *Computation, p *SingularPredicate, truth Truth) (bool, error) {
-	if err := p.Validate(c); err != nil {
-		return false, err
-	}
-	return DefinitelyGeneric(c, func(cc *Computation, k Cut) bool {
-		return p.Holds(cc, truth, k)
-	}), nil
-}
-
 // TruthFromTables adapts per-process boolean tables (indexed by local
 // event index) into a Truth function.
 func TruthFromTables(tables [][]bool) Truth { return singular.TruthFromTables(tables) }
@@ -128,29 +88,6 @@ func ParseRelop(s string) (Relop, error) { return relsum.ParseRelop(s) }
 // max-weight closure (min-cut) computation. No step-size assumption.
 func SumRange(c *Computation, name string) (min, max int64) {
 	return relsum.SumRange(c, name)
-}
-
-// PossiblySum detects Possibly(sum(name) relop k). Order operators need no
-// assumptions; equality requires the variable to change by at most one per
-// event (Theorem 7(1) of the paper; ErrNotUnitStep otherwise — the
-// arbitrary-increment problem is NP-complete by Theorem 3).
-func PossiblySum(c *Computation, name string, r Relop, k int64) (bool, error) {
-	return relsum.Possibly(c, name, r, k)
-}
-
-// PossiblySumWitness is PossiblySum for equality, additionally returning a
-// consistent cut at which the sum is exactly k (constructed in polynomial
-// time from the intermediate-value property of lattice paths, Theorem 4).
-func PossiblySumWitness(c *Computation, name string, k int64) (bool, Cut, error) {
-	return relsum.PossiblyEqWitness(c, name, k)
-}
-
-// DefinitelySum detects Definitely(sum(name) relop k): does every run pass
-// through a cut satisfying it? Equality uses the Theorem 7(2)
-// decomposition into Definitely(<=) and Definitely(>=); the primitives are
-// decided by lattice-region reachability (worst-case exponential).
-func DefinitelySum(c *Computation, name string, r Relop, k int64) (bool, error) {
-	return relsum.Definitely(c, name, r, k)
 }
 
 // ValidateUnitStep checks that the named variable changes by at most one
@@ -192,13 +129,6 @@ func InFlightRange(c *Computation) (min, max int64) {
 	return relsum.InFlightRange(c)
 }
 
-// PossiblyInFlight reports whether some consistent cut has exactly k
-// messages in flight, with a witness cut. Requires every event to carry
-// at most one message.
-func PossiblyInFlight(c *Computation, k int64) (bool, Cut, error) {
-	return relsum.PossiblyQuiescent(c, k)
-}
-
 // SymmetricSpec is a symmetric predicate over per-process booleans,
 // specified by the set of true-counts at which it holds.
 type SymmetricSpec = symmetric.Spec
@@ -220,17 +150,3 @@ var (
 	// NotAllEqual holds unless all variables agree.
 	NotAllEqual = symmetric.NotAllEqual
 )
-
-// PossiblySymmetric detects Possibly(spec) for a symmetric predicate in
-// polynomial time by decomposing it into sum-equality detections (the
-// paper's corollary). truth supplies each process's boolean per event.
-func PossiblySymmetric(c *Computation, spec SymmetricSpec, truth func(Event) bool) (bool, Cut, error) {
-	return symmetric.Possibly(c, spec, truth)
-}
-
-// DefinitelySymmetric detects Definitely(spec); Definitely does not
-// distribute over disjunction, so this uses lattice-region reachability
-// (worst-case exponential).
-func DefinitelySymmetric(c *Computation, spec SymmetricSpec, truth func(Event) bool) (bool, error) {
-	return symmetric.Definitely(c, spec, truth)
-}

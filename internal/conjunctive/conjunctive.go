@@ -18,6 +18,8 @@
 package conjunctive
 
 import (
+	"sort"
+
 	"github.com/distributed-predicates/gpd/internal/computation"
 	"github.com/distributed-predicates/gpd/internal/obs"
 	"github.com/distributed-predicates/gpd/internal/vclock"
@@ -58,6 +60,9 @@ func DetectTraced(c *computation.Computation, locals map[computation.ProcID]Loca
 	for p := range locals {
 		procs = append(procs, p)
 	}
+	// Map iteration order is random; canonicalize so elimination order —
+	// and with it the work counters — is a pure function of the input.
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
 	// Candidate queues: the true events of each involved process.
 	queues := make([][]computation.EventID, len(procs))
 	total := int64(0)

@@ -1,6 +1,8 @@
 package conjunctive
 
 import (
+	"sort"
+
 	"github.com/distributed-predicates/gpd/internal/computation"
 	"github.com/distributed-predicates/gpd/internal/obs"
 )
@@ -71,6 +73,9 @@ func DetectDefinitelyTraced(c *computation.Computation, locals map[computation.P
 	for p := range locals {
 		procs = append(procs, p)
 	}
+	// Map iteration order is random; canonicalize so elimination order —
+	// and with it the work counters — is a pure function of the input.
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
 	var totalIntervals, eliminated int64
 	defer func() {
 		tr.Add("conjunctive.true_intervals", totalIntervals)

@@ -1,8 +1,6 @@
 package relsum
 
 import (
-	"fmt"
-
 	"github.com/distributed-predicates/gpd/internal/computation"
 	"github.com/distributed-predicates/gpd/internal/lattice"
 	"github.com/distributed-predicates/gpd/internal/obs"
@@ -27,47 +25,25 @@ func Definitely(c *computation.Computation, name string, r Relop, k int64) (bool
 // DefinitelyTraced is Definitely with region-reachability work counters
 // accumulated into the trace.
 func DefinitelyTraced(c *computation.Computation, name string, r Relop, k int64, tr *obs.Trace) (bool, error) {
-	switch r {
-	case Lt:
-		return definitelyLe(c, name, k-1, tr), nil
-	case Le:
-		return definitelyLe(c, name, k, tr), nil
-	case Ge:
-		return definitelyGe(c, name, k, tr), nil
-	case Gt:
-		return definitelyGe(c, name, k+1, tr), nil
-	case Ne:
-		// A run avoids S != k iff it stays on the S == k plateau.
-		return !avoidable(c, region(name, Ne, k), tr), nil
-	case Eq:
-		if err := ValidateUnitStep(c, name); err != nil {
-			return false, err
-		}
-		// Theorem 7(2): with unit steps a run hits S == k exactly
-		// when it dips to <= k and rises to >= k (intermediate value
-		// along the run).
-		return definitelyLe(c, name, k, tr) && definitelyGe(c, name, k, tr), nil
-	default:
-		return false, fmt.Errorf("relsum: unknown relational operator %v", r)
-	}
+	return DefinitelyPar(c, name, r, k, 1, tr)
 }
 
 // definitelyLe reports whether every run passes through a cut with S <= k:
 // equivalently, no run stays entirely inside the region S > k.
-func definitelyLe(c *computation.Computation, name string, k int64, tr *obs.Trace) bool {
-	return !avoidable(c, region(name, Le, k), tr)
+func definitelyLe(c *computation.Computation, name string, k int64, workers int, tr *obs.Trace) bool {
+	return !avoidable(c, region(name, Le, k), workers, tr)
 }
 
 // definitelyGe reports whether every run passes through a cut with S >= k.
-func definitelyGe(c *computation.Computation, name string, k int64, tr *obs.Trace) bool {
-	return !avoidable(c, region(name, Ge, k), tr)
+func definitelyGe(c *computation.Computation, name string, k int64, workers int, tr *obs.Trace) bool {
+	return !avoidable(c, region(name, Ge, k), workers, tr)
 }
 
 // avoidable reports whether some run avoids the predicate entirely, i.e.
 // the lattice has a bottom-to-top path through the complement.
-func avoidable(c *computation.Computation, pred lattice.Predicate, tr *obs.Trace) bool {
+func avoidable(c *computation.Computation, pred lattice.Predicate, workers int, tr *obs.Trace) bool {
 	not := func(cc *computation.Computation, cut computation.Cut) bool { return !pred(cc, cut) }
-	return lattice.PathExistsTraced(c, c.InitialCut(), c.FinalCut(), not, tr)
+	return lattice.PathExistsPar(c, c.InitialCut(), c.FinalCut(), not, workers, tr)
 }
 
 // DefinitelyWeighted decides Definitely(quantity relop k) for an
@@ -81,23 +57,5 @@ func DefinitelyWeighted(c *computation.Computation, base int64, w Weight, r Relo
 // DefinitelyWeightedTraced is DefinitelyWeighted with region-reachability
 // work counters accumulated into the trace.
 func DefinitelyWeightedTraced(c *computation.Computation, base int64, w Weight, r Relop, k int64, tr *obs.Trace) (bool, error) {
-	at := func(cc *computation.Computation, cut computation.Cut) int64 {
-		return WeightedAt(cc, base, w, cut)
-	}
-	reg := func(rr Relop, kk int64) lattice.Predicate {
-		return func(cc *computation.Computation, cut computation.Cut) bool {
-			return rr.Eval(at(cc, cut), kk)
-		}
-	}
-	switch r {
-	case Lt, Le, Ge, Gt, Ne:
-		return !avoidable(c, reg(r, k), tr), nil
-	case Eq:
-		if err := validateUnitWeight(c, w); err != nil {
-			return false, err
-		}
-		return !avoidable(c, reg(Le, k), tr) && !avoidable(c, reg(Ge, k), tr), nil
-	default:
-		return false, fmt.Errorf("relsum: unknown relational operator %v", r)
-	}
+	return DefinitelyWeightedPar(c, base, w, r, k, 1, tr)
 }

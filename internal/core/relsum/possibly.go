@@ -1,8 +1,6 @@
 package relsum
 
 import (
-	"fmt"
-
 	"github.com/distributed-predicates/gpd/internal/computation"
 	"github.com/distributed-predicates/gpd/internal/obs"
 )
@@ -23,26 +21,7 @@ func Possibly(c *computation.Computation, name string, r Relop, k int64) (bool, 
 // PossiblyTraced is Possibly with closure work counters accumulated into
 // the trace.
 func PossiblyTraced(c *computation.Computation, name string, r Relop, k int64, tr *obs.Trace) (bool, error) {
-	min, max := SumRangeTraced(c, name, tr)
-	switch r {
-	case Lt:
-		return min < k, nil
-	case Le:
-		return min <= k, nil
-	case Ge:
-		return max >= k, nil
-	case Gt:
-		return max > k, nil
-	case Ne:
-		return min != k || max != k, nil
-	case Eq:
-		if err := ValidateUnitStep(c, name); err != nil {
-			return false, err
-		}
-		return min <= k && k <= max, nil
-	default:
-		return false, fmt.Errorf("relsum: unknown relational operator %v", r)
-	}
+	return PossiblyPar(c, name, r, k, 1, tr)
 }
 
 // PossiblyEqWitness decides Possibly(S = k) on a unit-step computation and,
@@ -58,23 +37,7 @@ func PossiblyEqWitness(c *computation.Computation, name string, k int64) (bool, 
 // PossiblyEqWitnessTraced is PossiblyEqWitness with closure work counters
 // accumulated into the trace.
 func PossiblyEqWitnessTraced(c *computation.Computation, name string, k int64, tr *obs.Trace) (bool, computation.Cut, error) {
-	if err := ValidateUnitStep(c, name); err != nil {
-		return false, nil, err
-	}
-	min, max, argmin, argmax := sumRangeWitness(c, name, tr)
-	if k < min || k > max {
-		return false, nil, nil
-	}
-	// Path 1 covers [min, S(final)], path 2 covers [S(final), max]; their
-	// union is [min, max].
-	if cut, ok := scanPath(c, name, k, argmin); ok {
-		return true, cut, nil
-	}
-	if cut, ok := scanPath(c, name, k, argmax); ok {
-		return true, cut, nil
-	}
-	// Unreachable for unit-step computations; guarded for safety.
-	return false, nil, fmt.Errorf("relsum: internal error: no witness for k=%d in [%d,%d]", k, min, max)
+	return PossiblyEqWitnessPar(c, name, k, 1, tr)
 }
 
 // scanPath walks the lattice path initial -> via -> final and returns the

@@ -25,7 +25,6 @@ import (
 
 	"github.com/distributed-predicates/gpd/internal/computation"
 	"github.com/distributed-predicates/gpd/internal/lattice"
-	"github.com/distributed-predicates/gpd/internal/maxflow"
 	"github.com/distributed-predicates/gpd/internal/obs"
 )
 
@@ -168,78 +167,12 @@ func SumRange(c *computation.Computation, name string) (min, max int64) {
 // SumRangeTraced is SumRange with closure work counters (augmenting paths,
 // closure sizes) accumulated into the trace.
 func SumRangeTraced(c *computation.Computation, name string, tr *obs.Trace) (min, max int64) {
-	n := c.NumEvents()
-	weights := make([]int64, n)
-	var baseline int64
-	c.Events(func(e computation.Event) bool {
-		if e.IsInitial() {
-			baseline += c.Var(name, e.ID)
-		} else {
-			weights[int(e.ID)] = delta(c, name, e.ID)
-		}
-		return true
-	})
-	// Requirement edges: an event requires its direct predecessors
-	// (excluding initial events, which are in every cut).
-	var requires [][2]int
-	c.Events(func(e computation.Event) bool {
-		if e.IsInitial() {
-			return true
-		}
-		for _, p := range c.DirectPreds(e.ID) {
-			if !c.Event(p).IsInitial() {
-				requires = append(requires, [2]int{int(e.ID), int(p)})
-			}
-		}
-		return true
-	})
-	best, _ := maxflow.MaxClosureTraced(weights, requires, tr)
-	max = baseline + best
-	neg := make([]int64, n)
-	for i, w := range weights {
-		neg[i] = -w
-	}
-	worst, _ := maxflow.MaxClosureTraced(neg, requires, tr)
-	min = baseline - worst
-	return min, max
+	return SumRangePar(c, name, 1, tr)
 }
 
 // sumRangeWitness is SumRange but also returns cuts achieving the extremes.
 func sumRangeWitness(c *computation.Computation, name string, tr *obs.Trace) (min, max int64, argmin, argmax computation.Cut) {
-	n := c.NumEvents()
-	weights := make([]int64, n)
-	var baseline int64
-	c.Events(func(e computation.Event) bool {
-		if e.IsInitial() {
-			baseline += c.Var(name, e.ID)
-		} else {
-			weights[int(e.ID)] = delta(c, name, e.ID)
-		}
-		return true
-	})
-	var requires [][2]int
-	c.Events(func(e computation.Event) bool {
-		if e.IsInitial() {
-			return true
-		}
-		for _, p := range c.DirectPreds(e.ID) {
-			if !c.Event(p).IsInitial() {
-				requires = append(requires, [2]int{int(e.ID), int(p)})
-			}
-		}
-		return true
-	})
-	best, maskMax := maxflow.MaxClosureTraced(weights, requires, tr)
-	max = baseline + best
-	argmax = maskToCut(c, maskMax)
-	neg := make([]int64, n)
-	for i, w := range weights {
-		neg[i] = -w
-	}
-	worst, maskMin := maxflow.MaxClosureTraced(neg, requires, tr)
-	min = baseline - worst
-	argmin = maskToCut(c, maskMin)
-	return min, max, argmin, argmax
+	return sumRangeWitnessPar(c, name, 1, tr)
 }
 
 // maskToCut converts a closure membership mask over event ids into the

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"github.com/distributed-predicates/gpd/internal/computation"
-	"github.com/distributed-predicates/gpd/internal/maxflow"
 	"github.com/distributed-predicates/gpd/internal/obs"
 )
 
@@ -32,37 +31,7 @@ func WeightedRangeTraced(c *computation.Computation, base int64, w Weight, tr *o
 }
 
 func weightedRangeWitness(c *computation.Computation, base int64, w Weight, tr *obs.Trace) (min, max int64, argmin, argmax computation.Cut) {
-	n := c.NumEvents()
-	weights := make([]int64, n)
-	c.Events(func(e computation.Event) bool {
-		if !e.IsInitial() {
-			weights[int(e.ID)] = w(e)
-		}
-		return true
-	})
-	var requires [][2]int
-	c.Events(func(e computation.Event) bool {
-		if e.IsInitial() {
-			return true
-		}
-		for _, p := range c.DirectPreds(e.ID) {
-			if !c.Event(p).IsInitial() {
-				requires = append(requires, [2]int{int(e.ID), int(p)})
-			}
-		}
-		return true
-	})
-	best, maskMax := maxflow.MaxClosureTraced(weights, requires, tr)
-	max = base + best
-	argmax = maskToCut(c, maskMax)
-	neg := make([]int64, n)
-	for i, x := range weights {
-		neg[i] = -x
-	}
-	worst, maskMin := maxflow.MaxClosureTraced(neg, requires, tr)
-	min = base - worst
-	argmin = maskToCut(c, maskMin)
-	return min, max, argmin, argmax
+	return weightedRangeWitnessPar(c, base, w, 1, tr)
 }
 
 // WeightedAt evaluates the quantity at a cut directly.
@@ -87,26 +56,7 @@ func PossiblyWeighted(c *computation.Computation, base int64, w Weight, r Relop,
 // PossiblyWeightedTraced is PossiblyWeighted with closure work counters
 // accumulated into the trace.
 func PossiblyWeightedTraced(c *computation.Computation, base int64, w Weight, r Relop, k int64, tr *obs.Trace) (bool, error) {
-	min, max := WeightedRangeTraced(c, base, w, tr)
-	switch r {
-	case Lt:
-		return min < k, nil
-	case Le:
-		return min <= k, nil
-	case Ge:
-		return max >= k, nil
-	case Gt:
-		return max > k, nil
-	case Ne:
-		return min != k || max != k, nil
-	case Eq:
-		if err := validateUnitWeight(c, w); err != nil {
-			return false, err
-		}
-		return min <= k && k <= max, nil
-	default:
-		return false, fmt.Errorf("relsum: unknown relational operator %v", r)
-	}
+	return PossiblyWeightedPar(c, base, w, r, k, 1, tr)
 }
 
 func validateUnitWeight(c *computation.Computation, w Weight) error {
@@ -171,23 +121,7 @@ func PossiblyQuiescent(c *computation.Computation, k int64) (bool, computation.C
 // PossiblyQuiescentTraced is PossiblyQuiescent with closure work counters
 // accumulated into the trace.
 func PossiblyQuiescentTraced(c *computation.Computation, k int64, tr *obs.Trace) (bool, computation.Cut, error) {
-	w := InFlightWeight(c)
-	if err := validateUnitWeight(c, w); err != nil {
-		return false, nil, err
-	}
-	min, max, argmin, argmax := weightedRangeWitness(c, 0, w, tr)
-	if k < min || k > max {
-		return false, nil, nil
-	}
-	// Walk paths through both extreme cuts; by the intermediate-value
-	// property one of them passes through occupancy k.
-	if cut, ok := scanWeighted(c, w, k, argmin); ok {
-		return true, cut, nil
-	}
-	if cut, ok := scanWeighted(c, w, k, argmax); ok {
-		return true, cut, nil
-	}
-	return false, nil, fmt.Errorf("relsum: internal error: no in-flight witness for %d in [%d,%d]", k, min, max)
+	return PossiblyQuiescentPar(c, k, 1, tr)
 }
 
 // scanWeighted walks initial -> via -> final looking for quantity == k.

@@ -83,7 +83,16 @@ func Detect(c *computation.Computation, p *Predicate, truth Truth, strategy Stra
 // produced the answer (which, under Auto, the caller cannot otherwise
 // predict).
 func DetectTraced(c *computation.Computation, p *Predicate, truth Truth, strategy Strategy, tr *obs.Trace) (Result, error) {
-	res, err := detect(c, p, truth, strategy)
+	return DetectPar(c, p, truth, strategy, 1, tr)
+}
+
+// DetectPar is DetectTraced with the per-selection CPDHB runs and the
+// chain-cover comparability scans spread over a bounded worker pool.
+// Selections are merged in odometer order, so the result (witness,
+// combination and elimination counts included) is identical for every
+// worker count; workers <= 1 runs the exact sequential code.
+func DetectPar(c *computation.Computation, p *Predicate, truth Truth, strategy Strategy, workers int, tr *obs.Trace) (Result, error) {
+	res, err := detect(c, p, truth, strategy, workers)
 	if err == nil && tr != nil {
 		tr.Note("singular.strategy", res.Strategy.String())
 		tr.Add("singular.candidate_events", int64(res.Candidates))
@@ -93,7 +102,7 @@ func DetectTraced(c *computation.Computation, p *Predicate, truth Truth, strateg
 	return res, err
 }
 
-func detect(c *computation.Computation, p *Predicate, truth Truth, strategy Strategy) (Result, error) {
+func detect(c *computation.Computation, p *Predicate, truth Truth, strategy Strategy, workers int) (Result, error) {
 	if err := p.Validate(c); err != nil {
 		return Result{}, err
 	}
@@ -117,9 +126,9 @@ func detect(c *computation.Computation, p *Predicate, truth Truth, strategy Stra
 		case SendOrdered:
 			return detectOrdered(c, p, cands, true)
 		case ProcessSubsets:
-			return detectSubsets(c, p, cands)
+			return detectSubsets(c, p, cands, workers)
 		case ChainCover:
-			return detectChains(c, cands)
+			return detectChains(c, cands, workers)
 		case Auto:
 			if res, err := detectOrdered(c, p, cands, false); err == nil {
 				return res, nil
@@ -127,7 +136,7 @@ func detect(c *computation.Computation, p *Predicate, truth Truth, strategy Stra
 			if res, err := detectOrdered(c, p, cands, true); err == nil {
 				return res, nil
 			}
-			return detectChains(c, cands)
+			return detectChains(c, cands, workers)
 		default:
 			return Result{}, fmt.Errorf("singular: unknown strategy %d", int(strategy))
 		}

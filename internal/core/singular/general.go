@@ -3,6 +3,7 @@ package singular
 import (
 	"github.com/distributed-predicates/gpd/internal/chains"
 	"github.com/distributed-predicates/gpd/internal/computation"
+	"github.com/distributed-predicates/gpd/internal/par"
 )
 
 // detectSubsets is general algorithm A (Section 3.3): enumerate all
@@ -14,6 +15,7 @@ func detectSubsets(
 	c *computation.Computation,
 	p *Predicate,
 	cands [][]computation.EventID,
+	workers int,
 ) (Result, error) {
 	// Split each clause's candidates by hosting process; keep only
 	// processes that actually have true events.
@@ -31,7 +33,7 @@ func detectSubsets(
 			}
 		}
 	}
-	return runSelections(c, perClause, ProcessSubsets), nil
+	return runSelections(c, perClause, ProcessSubsets, workers), nil
 }
 
 // detectChains is general algorithm B (Section 3.3): cover each clause's
@@ -45,12 +47,13 @@ func detectSubsets(
 func detectChains(
 	c *computation.Computation,
 	cands [][]computation.EventID,
+	workers int,
 ) (Result, error) {
 	perClause := make([][][]computation.EventID, len(cands))
 	for i, t := range cands {
-		cover := chains.Cover(len(t), func(a, b int) bool {
+		cover := chains.CoverPar(len(t), func(a, b int) bool {
 			return c.Precedes(t[a], t[b])
-		})
+		}, workers)
 		for _, chain := range cover {
 			q := make([]computation.EventID, len(chain))
 			for j, idx := range chain {
@@ -59,15 +62,22 @@ func detectChains(
 			perClause[i] = append(perClause[i], q)
 		}
 	}
-	return runSelections(c, perClause, ChainCover), nil
+	return runSelections(c, perClause, ChainCover, workers), nil
 }
 
 // runSelections enumerates the cartesian product of queue choices, running
-// the elimination for each selection until one succeeds.
+// the elimination for each selection until one succeeds. With workers > 1
+// selections are drawn from the odometer in blocks, eliminated
+// concurrently (eliminateQueues is a pure function of the queues and the
+// sealed computation), and merged back in odometer order — so the first
+// successful selection, and the combination/elimination totals up to it,
+// are exactly the sequential ones. Work past the first success within a
+// block is speculative and discarded.
 func runSelections(
 	c *computation.Computation,
 	perClause [][][]computation.EventID,
 	strategy Strategy,
+	workers int,
 ) Result {
 	res := Result{Strategy: strategy}
 	for i := range perClause {
@@ -76,34 +86,75 @@ func runSelections(
 		}
 	}
 	sel := make([]int, len(perClause))
-	queues := make([][]computation.EventID, len(perClause))
 	clock := func(id computation.EventID) []int32 { return c.Clock(id) }
 	proc := func(id computation.EventID) int { return int(c.Event(id).Proc) }
-	for {
-		for i, s := range sel {
-			queues[i] = perClause[i][s]
-		}
-		res.Combinations++
-		found, witness, elims := eliminateQueues(queues, clock, proc)
-		res.Eliminations += elims
-		if found {
-			res.Found = true
-			res.Witness = witness
-			return finish(c, res)
-		}
-		// Odometer step.
-		i := 0
-		for ; i < len(sel); i++ {
+	// step advances the odometer, reporting false on wrap-around.
+	step := func() bool {
+		for i := 0; i < len(sel); i++ {
 			sel[i]++
 			if sel[i] < len(perClause[i]) {
-				break
+				return true
 			}
 			sel[i] = 0
 		}
-		if i == len(sel) {
-			return res
+		return false
+	}
+	if workers <= 1 {
+		queues := make([][]computation.EventID, len(perClause))
+		for {
+			for i, s := range sel {
+				queues[i] = perClause[i][s]
+			}
+			res.Combinations++
+			found, witness, elims := eliminateQueues(queues, clock, proc)
+			res.Eliminations += elims
+			if found {
+				res.Found = true
+				res.Witness = witness
+				return finish(c, res)
+			}
+			if !step() {
+				return res
+			}
 		}
 	}
+	type outcome struct {
+		found   bool
+		witness []computation.EventID
+		elims   int
+	}
+	// Blocks sized so par.Do's chunk floor still yields one chunk per
+	// worker; this also bounds the speculative overshoot per block.
+	block := workers * 16
+	exhausted := false
+	for !exhausted {
+		var sels [][]int
+		for len(sels) < block && !exhausted {
+			sels = append(sels, append([]int(nil), sel...))
+			exhausted = !step()
+		}
+		out := make([]outcome, len(sels))
+		par.Do(workers, len(sels), func(lo, hi int) {
+			queues := make([][]computation.EventID, len(perClause))
+			for i := lo; i < hi; i++ {
+				for j, s := range sels[i] {
+					queues[j] = perClause[j][s]
+				}
+				found, witness, elims := eliminateQueues(queues, clock, proc)
+				out[i] = outcome{found, witness, elims}
+			}
+		})
+		for i := range sels {
+			res.Combinations++
+			res.Eliminations += out[i].elims
+			if out[i].found {
+				res.Found = true
+				res.Witness = out[i].witness
+				return finish(c, res)
+			}
+		}
+	}
+	return res
 }
 
 // ChainCoverSizes reports the minimum chain cover size of each clause's

@@ -112,8 +112,15 @@ func Possibly(c *computation.Computation, spec Spec, truth Truth) (bool, computa
 // PossiblyTraced is Possibly with work counters (levels probed, closure
 // work) accumulated into the trace.
 func PossiblyTraced(c *computation.Computation, spec Spec, truth Truth, tr *obs.Trace) (bool, computation.Cut, error) {
+	return PossiblyPar(c, spec, truth, 1, tr)
+}
+
+// PossiblyPar is PossiblyTraced with the closure computations run on a
+// bounded worker pool (the at most one witness probe stays sequential).
+// Identical verdict, witness and counters for every worker count.
+func PossiblyPar(c *computation.Computation, spec Spec, truth Truth, workers int, tr *obs.Trace) (bool, computation.Cut, error) {
 	cc := withCount(c, truth)
-	min, max := relsum.SumRangeTraced(cc, countVar, tr)
+	min, max := relsum.SumRangePar(cc, countVar, workers, tr)
 	var probed int64
 	defer func() { tr.Add("symmetric.levels_probed", probed) }()
 	for _, m := range spec.Levels {
@@ -124,7 +131,7 @@ func PossiblyTraced(c *computation.Computation, spec Spec, truth Truth, tr *obs.
 		if int64(m) < min || int64(m) > max {
 			continue
 		}
-		ok, cut, err := relsum.PossiblyEqWitnessTraced(cc, countVar, int64(m), tr)
+		ok, cut, err := relsum.PossiblyEqWitnessPar(cc, countVar, int64(m), workers, tr)
 		if err != nil {
 			return false, nil, err
 		}
@@ -147,6 +154,12 @@ func Definitely(c *computation.Computation, spec Spec, truth Truth) (bool, error
 // DefinitelyTraced is Definitely with region-reachability work counters
 // accumulated into the trace.
 func DefinitelyTraced(c *computation.Computation, spec Spec, truth Truth, tr *obs.Trace) (bool, error) {
+	return DefinitelyPar(c, spec, truth, 1, tr)
+}
+
+// DefinitelyPar is DefinitelyTraced with the region-reachability sweep
+// run on a bounded worker pool.
+func DefinitelyPar(c *computation.Computation, spec Spec, truth Truth, workers int, tr *obs.Trace) (bool, error) {
 	levels := make(map[int]bool, len(spec.Levels))
 	for _, m := range spec.Levels {
 		levels[m] = true
@@ -155,7 +168,7 @@ func DefinitelyTraced(c *computation.Computation, spec Spec, truth Truth, tr *ob
 		return levels[cc.CountTrue(k, func(e computation.Event) bool { return truth(e) })]
 	}
 	not := func(cc *computation.Computation, k computation.Cut) bool { return !holds(cc, k) }
-	avoidable := lattice.PathExistsTraced(c, c.InitialCut(), c.FinalCut(), not, tr)
+	avoidable := lattice.PathExistsPar(c, c.InitialCut(), c.FinalCut(), not, workers, tr)
 	return !avoidable, nil
 }
 

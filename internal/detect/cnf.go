@@ -38,21 +38,21 @@ func singularPredicate(s pred.Spec) *singular.Predicate {
 }
 
 func cnfPossibly(c *computation.Computation, s pred.Spec, opt Options, tr *obs.Trace) (Result, error) {
-	res, err := singular.DetectTraced(c, singularPredicate(s), singular.Truth(varTruth(c, s.Var)), opt.Singular, tr)
+	res, err := singular.DetectPar(c, singularPredicate(s), singular.Truth(varTruth(c, s.Var)), opt.Singular, opt.Parallelism, tr)
 	if err != nil {
 		return Result{}, err
 	}
 	return Result{Holds: res.Found, Witness: res.Cut, Strategy: res.Strategy, Combinations: res.Combinations}, nil
 }
 
-func cnfDefinitely(c *computation.Computation, s pred.Spec, _ Options, tr *obs.Trace) (Result, error) {
+func cnfDefinitely(c *computation.Computation, s pred.Spec, opt Options, tr *obs.Trace) (Result, error) {
 	p := singularPredicate(s)
 	if err := p.Validate(c); err != nil {
 		return Result{}, err
 	}
 	truth := varTruth(c, s.Var)
-	holds := lattice.DefinitelyTraced(c, func(cc *computation.Computation, k computation.Cut) bool {
+	holds := lattice.DefinitelyPar(c, func(cc *computation.Computation, k computation.Cut) bool {
 		return p.Holds(cc, singular.Truth(truth), k)
-	}, tr)
+	}, opt.Parallelism, tr)
 	return Result{Holds: holds}, nil
 }

@@ -38,6 +38,10 @@ func allLocals(c *computation.Computation, name string) map[computation.ProcID]c
 	return locals
 }
 
+// conjPossibly and conjDefinitely ignore Options.Parallelism: the
+// token-elimination algorithms are linear in the number of events and
+// already work-optimal, so a worker pool would only add coordination
+// overhead without changing the asymptotics.
 func conjPossibly(c *computation.Computation, s pred.Spec, _ Options, tr *obs.Trace) (Result, error) {
 	res := conjunctive.DetectTraced(c, allLocals(c, s.Var), tr)
 	return Result{Holds: res.Found, Witness: res.Cut}, nil

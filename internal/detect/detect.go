@@ -262,6 +262,13 @@ type Options struct {
 	// Singular selects the singular detection algorithm (CNF under
 	// ModalityPossibly only).
 	Singular singular.Strategy
+	// Parallelism is the worker budget of the batch kernels. Batch
+	// resolves the zero value to GOMAXPROCS before dispatching, so Batch
+	// functions always see a concrete count; 1 runs the exact sequential
+	// algorithms. Every family's parallel route is bit-identical to its
+	// sequential one (same verdict, witness and work counters), so this
+	// only affects wall-clock time.
+	Parallelism int
 }
 
 // Result is the outcome of a batch or replay run. Transports copy the

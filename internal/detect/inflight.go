@@ -22,11 +22,11 @@ func init() {
 	})
 }
 
-func inflightPossibly(c *computation.Computation, s pred.Spec, _ Options, tr *obs.Trace) (Result, error) {
-	min, max := relsum.InFlightRangeTraced(c, tr)
+func inflightPossibly(c *computation.Computation, s pred.Spec, opt Options, tr *obs.Trace) (Result, error) {
+	min, max := relsum.InFlightRangePar(c, opt.Parallelism, tr)
 	res := Result{Min: min, Max: max, HasRange: true}
 	if s.Rel == relsum.Eq {
-		ok, cut, err := relsum.PossiblyQuiescentTraced(c, s.K, tr)
+		ok, cut, err := relsum.PossiblyQuiescentPar(c, s.K, opt.Parallelism, tr)
 		res.Holds, res.Witness = ok, cut
 		return res, err
 	}
@@ -34,9 +34,9 @@ func inflightPossibly(c *computation.Computation, s pred.Spec, _ Options, tr *ob
 	return res, nil
 }
 
-func inflightDefinitely(c *computation.Computation, s pred.Spec, _ Options, tr *obs.Trace) (Result, error) {
-	min, max := relsum.InFlightRangeTraced(c, tr)
-	ok, err := relsum.DefinitelyWeightedTraced(c, 0, relsum.InFlightWeight(c), s.Rel, s.K, tr)
+func inflightDefinitely(c *computation.Computation, s pred.Spec, opt Options, tr *obs.Trace) (Result, error) {
+	min, max := relsum.InFlightRangePar(c, opt.Parallelism, tr)
+	ok, err := relsum.DefinitelyWeightedPar(c, 0, relsum.InFlightWeight(c), s.Rel, s.K, opt.Parallelism, tr)
 	return Result{Holds: ok, Min: min, Max: max, HasRange: true}, err
 }
 

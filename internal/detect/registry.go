@@ -6,6 +6,7 @@ import (
 
 	"github.com/distributed-predicates/gpd/internal/computation"
 	"github.com/distributed-predicates/gpd/internal/obs"
+	"github.com/distributed-predicates/gpd/internal/par"
 	"github.com/distributed-predicates/gpd/internal/pred"
 )
 
@@ -75,12 +76,16 @@ func Families() []pred.Family {
 }
 
 // Batch resolves the registry entry for the spec's family under the
-// modality and runs its offline algorithm.
+// modality and runs its offline algorithm. The zero Parallelism option
+// resolves to GOMAXPROCS here — once, for every family — so Batch
+// functions and the kernels below them always receive a concrete worker
+// count.
 func Batch(c *computation.Computation, s pred.Spec, m Modality, opt Options, tr *obs.Trace) (Result, error) {
 	e, ok := Lookup(s.Family, m)
 	if !ok {
 		return Result{}, fmt.Errorf("detect: no detector registered for %v under %v", s.Family, m)
 	}
+	opt.Parallelism = par.Limit(opt.Parallelism)
 	return e.Batch(c, s, opt, tr)
 }
 

@@ -22,17 +22,17 @@ func init() {
 	})
 }
 
-func sumPossibly(c *computation.Computation, s pred.Spec, _ Options, tr *obs.Trace) (Result, error) {
+func sumPossibly(c *computation.Computation, s pred.Spec, opt Options, tr *obs.Trace) (Result, error) {
 	if s.Rel == relsum.Eq {
-		ok, cut, err := relsum.PossiblyEqWitnessTraced(c, s.Var, s.K, tr)
+		ok, cut, err := relsum.PossiblyEqWitnessPar(c, s.Var, s.K, opt.Parallelism, tr)
 		return Result{Holds: ok, Witness: cut}, err
 	}
-	ok, err := relsum.PossiblyTraced(c, s.Var, s.Rel, s.K, tr)
+	ok, err := relsum.PossiblyPar(c, s.Var, s.Rel, s.K, opt.Parallelism, tr)
 	return Result{Holds: ok}, err
 }
 
-func sumDefinitely(c *computation.Computation, s pred.Spec, _ Options, tr *obs.Trace) (Result, error) {
-	ok, err := relsum.DefinitelyTraced(c, s.Var, s.Rel, s.K, tr)
+func sumDefinitely(c *computation.Computation, s pred.Spec, opt Options, tr *obs.Trace) (Result, error) {
+	ok, err := relsum.DefinitelyPar(c, s.Var, s.Rel, s.K, opt.Parallelism, tr)
 	return Result{Holds: ok}, err
 }
 

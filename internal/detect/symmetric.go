@@ -45,15 +45,15 @@ func symmetricSpec(n int, s pred.Spec) symmetric.Spec {
 	}
 }
 
-func symPossibly(c *computation.Computation, s pred.Spec, _ Options, tr *obs.Trace) (Result, error) {
+func symPossibly(c *computation.Computation, s pred.Spec, opt Options, tr *obs.Trace) (Result, error) {
 	spec := symmetricSpec(c.NumProcs(), s)
-	ok, cut, err := symmetric.PossiblyTraced(c, spec, symmetric.Truth(varTruth(c, s.Var)), tr)
+	ok, cut, err := symmetric.PossiblyPar(c, spec, symmetric.Truth(varTruth(c, s.Var)), opt.Parallelism, tr)
 	return Result{Holds: ok, Witness: cut}, err
 }
 
-func symDefinitely(c *computation.Computation, s pred.Spec, _ Options, tr *obs.Trace) (Result, error) {
+func symDefinitely(c *computation.Computation, s pred.Spec, opt Options, tr *obs.Trace) (Result, error) {
 	spec := symmetricSpec(c.NumProcs(), s)
-	ok, err := symmetric.DefinitelyTraced(c, spec, symmetric.Truth(varTruth(c, s.Var)), tr)
+	ok, err := symmetric.DefinitelyPar(c, spec, symmetric.Truth(varTruth(c, s.Var)), opt.Parallelism, tr)
 	return Result{Holds: ok}, err
 }
 

@@ -1,0 +1,31 @@
+package lattice
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/distributed-predicates/gpd/internal/gen"
+)
+
+// BenchmarkParallelLattice sweeps a wide lattice (independent-ish
+// processes, few messages) with the Definitely kernel — the worst-case
+// level-synchronous BFS — at increasing worker counts. The par=1 case
+// is the exact sequential kernel, so sub-benchmark ratios are the
+// speedup the acceptance gate reads.
+func BenchmarkParallelLattice(b *testing.B) {
+	c := gen.Random(gen.Params{Seed: 42, Procs: 7, Events: 5, MsgFrac: 0.3})
+	gen.UnitStepVar(43, c, "x")
+	// A threshold the sweep never reaches keeps the frontier alive to the
+	// final cut: every level is generated and evaluated.
+	pred := sumAtLeast("x", 1000)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("par=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if DefinitelyPar(c, pred, w, nil) {
+					b.Fatal("unexpected Definitely verdict")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,43 @@
+package linear
+
+import (
+	"github.com/distributed-predicates/gpd/internal/computation"
+	"github.com/distributed-predicates/gpd/internal/par"
+)
+
+// LeastCut is one oracle's outcome in a batch scan.
+type LeastCut struct {
+	// OK reports whether some consistent cut satisfies the oracle.
+	OK bool
+	// Cut, when OK, is the least satisfying cut.
+	Cut computation.Cut
+}
+
+// FindLeastEach runs the linear-predicate advancement independently for
+// each oracle on a bounded worker pool and returns the results in input
+// order. Each scan reads only the sealed computation and advances its
+// own cut, so the scans are embarrassingly parallel and the output is
+// identical for every worker count. This is the batch shape of the
+// equilevel and conjunctive prune passes: many independent linear
+// predicates (one per chain, clause or level) against one computation.
+func FindLeastEach(c *computation.Computation, oracles []Oracle, workers int) []LeastCut {
+	out := make([]LeastCut, len(oracles))
+	par.Do(workers, len(oracles), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			k, ok := FindLeast(c, oracles[i])
+			out[i] = LeastCut{OK: ok, Cut: k}
+		}
+	})
+	return out
+}
+
+// PossiblyEach reports, for each oracle, whether some consistent cut
+// satisfies it, scanning on a bounded worker pool.
+func PossiblyEach(c *computation.Computation, oracles []Oracle, workers int) []bool {
+	res := FindLeastEach(c, oracles, workers)
+	out := make([]bool, len(res))
+	for i, r := range res {
+		out[i] = r.OK
+	}
+	return out
+}

@@ -10,9 +10,15 @@ import (
 // be tied to a shutdown path: the serving stacks and the simulator are
 // long-lived multi-tenant processes, and an untracked goroutine there
 // is a leak that Shutdown/Close cannot wait for (the monitor-shutdown
-// race of PR 1 started exactly this way).
+// race of PR 1 started exactly this way). The parallelized theory
+// packages are on the list too: their worker pools must join before the
+// kernel returns (the ordered-merge determinism argument assumes all
+// concurrent work has completed), so an untied goroutine there is not
+// just a leak but a correctness hole.
 var concurrentPkgs = []string{
 	"internal/stream", "internal/monitor", "internal/simulator",
+	"internal/par", "internal/lattice", "internal/maxflow",
+	"internal/chains", "internal/linear", "internal/core", "internal/detect",
 }
 
 // AnalyzerCtxLeak enforces that every `go` statement in a concurrent
@@ -22,7 +28,7 @@ var concurrentPkgs = []string{
 // channel, or ctx.Done()).
 var AnalyzerCtxLeak = &Analyzer{
 	Name: "ctxleak",
-	Doc:  "every goroutine in stream/monitor/simulator is tied to a shutdown path (WaitGroup, done channel, or context)",
+	Doc:  "every goroutine in the serving stacks and the parallelized theory packages is tied to a shutdown path (WaitGroup, done channel, or context)",
 	Run:  runCtxLeak,
 }
 

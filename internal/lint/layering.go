@@ -32,6 +32,7 @@ var layerRules = []layerRule{
 			"internal/slicing", "internal/sat", "internal/subsetsum",
 			"internal/maxflow", "internal/matching", "internal/linear",
 			"internal/conjunctive", "internal/pred", "internal/gen",
+			"internal/par",
 		},
 		Forbid: []string{"internal/stream", "internal/monitor", "std:net", "std:net/http"},
 		Why:    "theory core stays serving-free",

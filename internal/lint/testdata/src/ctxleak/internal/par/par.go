@@ -1,0 +1,37 @@
+// Package par stands in for the parallelized theory packages: worker
+// pools must join before the kernel returns, so every launch needs a
+// WaitGroup tie — an untied goroutine is a correctness hole, not just a
+// leak.
+package par
+
+import "sync"
+
+// DoChunked is the sanctioned worker-pool shape: wg.Add before each
+// launch, the pool joined before returning.
+func DoChunked(w, n int, fn func(lo, hi int)) {
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// DoLeaky forgets the WaitGroup registration: the results slice may be
+// read before the workers finish, which is exactly the scheduling leak
+// the parallel kernels must never have.
+func DoLeaky(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		go func(i int) { // want `goroutine has no shutdown tie`
+			fn(i)
+		}(i)
+	}
+}

@@ -163,43 +163,5 @@ func MaxClosure(weights []int64, requires [][2]int) (int64, []bool) {
 // (augmenting paths, BFS phases, graph and closure sizes) into the trace.
 // A nil trace is free.
 func MaxClosureTraced(weights []int64, requires [][2]int, tr *obs.Trace) (int64, []bool) {
-	n := len(weights)
-	// Standard reduction: source -> v with cap w(v) for positive
-	// weights, v -> sink with cap -w(v) for negative weights, and an
-	// infinite edge v -> u for every requirement (v requires u). The
-	// min cut separates the chosen closure (source side) from the rest.
-	g := NewGraph(n + 2)
-	s, t := n, n+1
-	var totalPos int64
-	for v, w := range weights {
-		if w > 0 {
-			g.AddEdge(s, v, w)
-			totalPos += w
-		} else if w < 0 {
-			g.AddEdge(v, t, -w)
-		}
-	}
-	for _, r := range requires {
-		v, u := r[0], r[1]
-		g.AddEdge(v, u, Infinity)
-	}
-	flow := g.MaxFlow(s, t)
-	side := g.MinCutSide(s)
-	mask := make([]bool, n)
-	copy(mask, side[:n])
-	if tr != nil {
-		var size int64
-		for _, in := range mask {
-			if in {
-				size++
-			}
-		}
-		tr.Add("maxflow.augmenting_paths", g.augPaths)
-		tr.Add("maxflow.bfs_phases", g.phases)
-		tr.Add("maxflow.closures", 1)
-		tr.Add("maxflow.closure_size", size)
-		tr.Add("maxflow.graph_nodes", int64(n))
-		tr.Add("maxflow.graph_arcs", int64(len(g.to)))
-	}
-	return totalPos - flow, mask
+	return maxClosure(weights, requires, 1, tr)
 }

@@ -1,0 +1,88 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLimit(t *testing.T) {
+	if got := Limit(4); got != 4 {
+		t.Errorf("Limit(4) = %d", got)
+	}
+	if got := Limit(1); got != 1 {
+		t.Errorf("Limit(1) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := Limit(0); got != want {
+		t.Errorf("Limit(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := Limit(-3); got != want {
+		t.Errorf("Limit(-3) = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+// TestDoCoversRange: every index is visited exactly once, for every
+// combination of worker count and range size, including the degenerate
+// ones.
+func TestDoCoversRange(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 8, 100} {
+		for _, n := range []int{0, 1, 2, 15, 16, 17, 100, 1000} {
+			visits := make([]int32, n)
+			Do(w, n, func(lo, hi int) {
+				if lo < 0 || hi > n || lo > hi {
+					t.Errorf("Do(%d, %d): bad chunk [%d,%d)", w, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&visits[i], 1)
+				}
+			})
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("Do(%d, %d): index %d visited %d times", w, n, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestDoDeterministicChunks: per-index results are identical across
+// worker counts when fn is deterministic per index — the property the
+// parallel kernels' ordered merges rely on.
+func TestDoDeterministicChunks(t *testing.T) {
+	const n = 257
+	ref := make([]int, n)
+	Do(1, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ref[i] = i * i
+		}
+	})
+	for _, w := range []int{2, 4, 8} {
+		out := make([]int, n)
+		Do(w, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = i * i
+			}
+		})
+		for i := range out {
+			if out[i] != ref[i] {
+				t.Fatalf("w=%d: out[%d] = %d, want %d", w, i, out[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestDoInlineWhenSmall: a single-worker or tiny range must run on the
+// caller's goroutine (the exact-sequential guarantee of parallelism 1).
+func TestDoInlineWhenSmall(t *testing.T) {
+	var calls int
+	Do(1, 100, func(lo, hi int) { calls++ })
+	if calls != 1 {
+		t.Errorf("Do(1, 100) ran %d chunks, want 1 inline call", calls)
+	}
+	calls = 0
+	Do(8, 5, func(lo, hi int) { calls++ })
+	if calls != 1 {
+		t.Errorf("Do(8, 5) ran %d chunks, want 1 (below minChunk)", calls)
+	}
+}

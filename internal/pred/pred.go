@@ -15,6 +15,8 @@
 //	cnf(<var>): (0 | !1) & (2)  singular CNF over the 0/1 variable; literals are
 //	                            process ids, ! negates, | joins within a clause,
 //	                            & joins clauses
+//	equilevel(<var>): <L>       all(var) restricted to cuts at level L (exactly L
+//	                            non-initial events executed), per Garg & Streit
 package pred
 
 import (
@@ -48,6 +50,13 @@ const (
 	CNF
 	// InFlight is the channel-occupancy predicate inflight relop k.
 	InFlight
+	// Equilevel is the conjunction of the 0/1 variable over all
+	// processes, restricted to consistent cuts at one level L (exactly L
+	// non-initial events executed): equilevel(var): L. Every run passes
+	// through exactly one cut per level, which makes both modalities a
+	// single antichain scan (Garg & Streit, "Parallel Algorithms for
+	// Equilevel Predicates").
+	Equilevel
 )
 
 // String names the family (also the JSON encoding).
@@ -67,6 +76,8 @@ func (f Family) String() string {
 		return "cnf"
 	case InFlight:
 		return "inflight"
+	case Equilevel:
+		return "equilevel"
 	default:
 		return fmt.Sprintf("family(%d)", int(f))
 	}
@@ -89,6 +100,8 @@ func ParseFamily(s string) (Family, error) {
 		return CNF, nil
 	case "inflight":
 		return InFlight, nil
+	case "equilevel":
+		return Equilevel, nil
 	default:
 		return 0, fmt.Errorf("pred: unknown predicate family %q", s)
 	}
@@ -149,6 +162,8 @@ func (s Spec) MarshalJSON() ([]byte, error) {
 	w := specWire{Family: s.Family, Var: s.Var, Levels: s.Levels, Clauses: s.Clauses}
 	if s.usesRel() {
 		w.Rel = s.Rel.String()
+	}
+	if s.usesRel() || s.Family == Equilevel {
 		k := s.K
 		w.K = &k
 	}
@@ -202,6 +217,13 @@ func (s Spec) Validate(nprocs int) error {
 	case Conjunctive, Sum, Count, Xor, InFlight:
 		if len(s.Levels) > 0 || len(s.Clauses) > 0 {
 			return fmt.Errorf("pred: %v spec does not take levels or clauses", s.Family)
+		}
+	case Equilevel:
+		if len(s.Levels) > 0 || len(s.Clauses) > 0 {
+			return fmt.Errorf("pred: %v spec does not take levels or clauses", s.Family)
+		}
+		if s.K < 0 {
+			return fmt.Errorf("pred: equilevel level %d must be non-negative", s.K)
 		}
 	case Levels:
 		if len(s.Levels) == 0 {
@@ -259,6 +281,8 @@ func (s Spec) String() string {
 		return fmt.Sprintf("levels(%s): %s", s.Var, strings.Join(parts, ", "))
 	case InFlight:
 		return fmt.Sprintf("inflight %v %d", s.Rel, s.K)
+	case Equilevel:
+		return fmt.Sprintf("equilevel(%s): %d", s.Var, s.K)
 	case CNF:
 		var b strings.Builder
 		fmt.Fprintf(&b, "cnf(%s): ", s.Var)
@@ -334,6 +358,18 @@ func Parse(text string) (Spec, error) {
 			}
 			sp.Levels = append(sp.Levels, m)
 		}
+		return sp, sp.Validate(0)
+
+	case strings.HasPrefix(s, "equilevel("):
+		name, body, err := parseHeadBody(s, "equilevel")
+		if err != nil {
+			return Spec{}, err
+		}
+		l, err := strconv.ParseInt(body, 10, 64)
+		if err != nil {
+			return Spec{}, fmt.Errorf("pred: bad equilevel level %q", body)
+		}
+		sp := Spec{Family: Equilevel, Var: name, K: l}
 		return sp, sp.Validate(0)
 
 	case strings.HasPrefix(s, "inflight"):

@@ -34,6 +34,9 @@ import (
 // kept so old clients keep decoding; new clients set Spec.Pred to a
 // canonical predicate string instead, which reaches every registered
 // family rather than these three.
+//
+// Deprecated: set Spec.Pred to a canonical grammar string. The numeric
+// decode stays only for wire back-compat and will not grow new kinds.
 type Kind int
 
 const (
@@ -65,6 +68,9 @@ func (k Kind) String() string {
 }
 
 // ParseKind parses the wire encoding of a kind.
+//
+// Deprecated: parse the canonical grammar with pred.Parse and set
+// Spec.Pred; ParseKind exists only for legacy wire traffic.
 func ParseKind(s string) (Kind, error) {
 	switch s {
 	case "conjunctive":
@@ -87,6 +93,10 @@ type Spec struct {
 	Pred string `json:"pred,omitempty"`
 	// Kind is the legacy numeric family selector, kept for wire
 	// back-compat; leave it zero when Pred is set.
+	//
+	// Deprecated: set Pred instead. Canonical converts legacy kinds,
+	// so old payloads keep working, but only Pred reaches every
+	// registered family.
 	Kind Kind `json:"kind,omitempty"`
 	// Procs is the number of processes in the monitored application.
 	Procs int `json:"procs"`

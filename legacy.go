@@ -1,0 +1,136 @@
+package gpd
+
+// This file collects the deprecated surface kept for compile
+// compatibility: the pre-registry per-family Possibly*/Definitely*
+// wrappers and the split strategy option. New code goes through Detect
+// with a Spec — one front door, every family, batch and replay routes,
+// parallel kernels via WithParallelism.
+
+import (
+	"github.com/distributed-predicates/gpd/internal/conjunctive"
+	"github.com/distributed-predicates/gpd/internal/core/relsum"
+	"github.com/distributed-predicates/gpd/internal/core/singular"
+	"github.com/distributed-predicates/gpd/internal/core/symmetric"
+)
+
+// WithDetectStrategy selects the detection route; the default is
+// StrategyBatch.
+//
+// Deprecated: WithStrategy accepts both strategy namespaces; use
+// WithStrategy(StrategyReplay) directly.
+func WithDetectStrategy(s DetectStrategy) Option {
+	return WithStrategy(s)
+}
+
+// PossiblyConjunctive detects Possibly(l1 and ... and lm) for local
+// predicates, one per involved process, with the Garg–Waldecker CPDHB
+// algorithm — linear in the number of true events per process pair. It
+// returns the witness events and cut when the conjunction holds.
+//
+// Deprecated: use Detect with an all(var) Spec; this wrapper remains
+// for callers with per-process predicate functions that no variable
+// table expresses.
+func PossiblyConjunctive(c *Computation, locals map[ProcID]LocalPredicate) ConjunctiveResult {
+	return conjunctive.Detect(c, locals)
+}
+
+// DefinitelyConjunctive reports whether EVERY run of the computation
+// passes through a global state satisfying the conjunction, using Garg &
+// Waldecker's interval-overlap characterization: a selection of one true
+// interval per process whose every start happened-before every other's
+// end. Polynomial in the number of true intervals; validated against the
+// exhaustive oracle on thousands of random computations.
+//
+// Deprecated: use Detect with an all(var) Spec and ModalityDefinitely.
+func DefinitelyConjunctive(c *Computation, locals map[ProcID]LocalPredicate) bool {
+	return conjunctive.DetectDefinitely(c, locals)
+}
+
+// PossiblySingular detects Possibly(p) for a singular CNF predicate using
+// the chosen strategy. Detection is NP-complete in general (Theorem 1 of
+// the paper); StrategyReceiveOrdered and StrategySendOrdered are
+// polynomial when applicable, and StrategyChainCover is the best general
+// algorithm.
+//
+// Deprecated: use Detect with a cnf(var) Spec and
+// WithStrategy(StrategyChainCover) etc.
+func PossiblySingular(c *Computation, p *SingularPredicate, truth Truth, s SingularStrategy) (SingularResult, error) {
+	return singular.Detect(c, p, truth, s)
+}
+
+// DefinitelySingular reports whether every run of the computation passes
+// through a cut satisfying the singular predicate. No polynomial algorithm
+// is known for this modality (the paper treats Possibly); this implements
+// it by lattice-region reachability, exponential in the worst case.
+//
+// Deprecated: use Detect with a cnf(var) Spec and ModalityDefinitely.
+func DefinitelySingular(c *Computation, p *SingularPredicate, truth Truth) (bool, error) {
+	if err := p.Validate(c); err != nil {
+		return false, err
+	}
+	return DefinitelyGeneric(c, func(cc *Computation, k Cut) bool {
+		return p.Holds(cc, truth, k)
+	}), nil
+}
+
+// PossiblySum detects Possibly(sum(name) relop k). Order operators need no
+// assumptions; equality requires the variable to change by at most one per
+// event (Theorem 7(1) of the paper; ErrNotUnitStep otherwise — the
+// arbitrary-increment problem is NP-complete by Theorem 3).
+//
+// Deprecated: use Detect with a sum(var) relop k Spec.
+func PossiblySum(c *Computation, name string, r Relop, k int64) (bool, error) {
+	return relsum.Possibly(c, name, r, k)
+}
+
+// PossiblySumWitness is PossiblySum for equality, additionally returning a
+// consistent cut at which the sum is exactly k (constructed in polynomial
+// time from the intermediate-value property of lattice paths, Theorem 4).
+//
+// Deprecated: use Detect with a sum(var) == k Spec; the Report carries
+// the witness cut.
+func PossiblySumWitness(c *Computation, name string, k int64) (bool, Cut, error) {
+	return relsum.PossiblyEqWitness(c, name, k)
+}
+
+// DefinitelySum detects Definitely(sum(name) relop k): does every run pass
+// through a cut satisfying it? Equality uses the Theorem 7(2)
+// decomposition into Definitely(<=) and Definitely(>=); the primitives are
+// decided by lattice-region reachability (worst-case exponential).
+//
+// Deprecated: use Detect with a sum(var) relop k Spec and
+// ModalityDefinitely.
+func DefinitelySum(c *Computation, name string, r Relop, k int64) (bool, error) {
+	return relsum.Definitely(c, name, r, k)
+}
+
+// PossiblyInFlight reports whether some consistent cut has exactly k
+// messages in flight, with a witness cut. Requires every event to carry
+// at most one message.
+//
+// Deprecated: use Detect with an inflight == k Spec; the Report carries
+// the witness cut.
+func PossiblyInFlight(c *Computation, k int64) (bool, Cut, error) {
+	return relsum.PossiblyQuiescent(c, k)
+}
+
+// PossiblySymmetric detects Possibly(spec) for a symmetric predicate in
+// polynomial time by decomposing it into sum-equality detections (the
+// paper's corollary). truth supplies each process's boolean per event.
+//
+// Deprecated: use Detect with a count/xor/levels Spec; this wrapper
+// remains for callers with symmetric specs built from functions rather
+// than level sets.
+func PossiblySymmetric(c *Computation, spec SymmetricSpec, truth func(Event) bool) (bool, Cut, error) {
+	return symmetric.Possibly(c, spec, truth)
+}
+
+// DefinitelySymmetric detects Definitely(spec); Definitely does not
+// distribute over disjunction, so this uses lattice-region reachability
+// (worst-case exponential).
+//
+// Deprecated: use Detect with a count/xor/levels Spec and
+// ModalityDefinitely.
+func DefinitelySymmetric(c *Computation, spec SymmetricSpec, truth func(Event) bool) (bool, error) {
+	return symmetric.Definitely(c, spec, truth)
+}

@@ -92,7 +92,7 @@ func TestReplayBatchAgreementMatrix(t *testing.T) {
 	// Completeness: every family the registry registers must appear in
 	// the matrix (or be an explicit batch-only exception below), so a
 	// newly added family cannot silently skip the cross-check.
-	batchOnly := map[string]bool{"cnf": true}
+	batchOnly := map[string]bool{"cnf": true, "equilevel": true}
 	for _, f := range idetect.Families() {
 		if !covered[f.String()] && !batchOnly[f.String()] {
 			t.Errorf("registered family %v is missing from the agreement matrix", f)
