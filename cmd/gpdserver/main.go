@@ -155,7 +155,7 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 		if err != nil {
 			return fmt.Errorf("stats listen: %w", err)
 		}
-		stats = &http.Server{Handler: statsHandler(eng, metrics, flight, *withPprof)}
+		stats = &http.Server{Handler: statsHandler(eng, metrics, flight, logger, *withPprof)}
 		go func() { statsErr <- stats.Serve(ln) }()
 		logger.Info("stats", "url", fmt.Sprintf("http://%s/debug/vars", ln.Addr()))
 		logger.Info("metrics", "url", fmt.Sprintf("http://%s/metrics", ln.Addr()))
@@ -181,13 +181,16 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 // snapshot), Prometheus text exposition at /metrics, the flight ring at
 // /debug/flight (?format=json|chrome), and optionally the
 // net/http/pprof endpoints under /debug/pprof/.
-func statsHandler(eng *stream.Engine, metrics *obs.Registry, flight *obs.Flight, withPprof bool) http.Handler {
+func statsHandler(eng *stream.Engine, metrics *obs.Registry, flight *obs.Flight, logger *slog.Logger, withPprof bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(map[string]any{"gpdserver": eng.Snapshot()})
+		if err := enc.Encode(map[string]any{"gpdserver": eng.Snapshot()}); err != nil {
+			// Too late for an HTTP error; surface the truncated scrape.
+			logger.Warn("/debug/vars write failed", "err", err)
+		}
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -20,6 +20,7 @@ package reduction
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"github.com/distributed-predicates/gpd/internal/cnf"
 	"github.com/distributed-predicates/gpd/internal/computation"
@@ -149,8 +150,16 @@ func SingularFromCNF(f *cnf.Formula) (*SingularInstance, error) {
 	// Conflict arrows: successor of each positive occurrence's true event
 	// -> each conflicting negative occurrence's true event. Pairs on the
 	// same process are already mutually exclusive (a cut passes through
-	// at most one event per process) and are skipped.
-	for _, o := range occ {
+	// at most one event per process) and are skipped. Variables are
+	// visited in sorted order so the constructed computation's message
+	// set is inserted identically run to run.
+	vars := make([]int, 0, len(occ))
+	for v := range occ {
+		vars = append(vars, v)
+	}
+	sort.Ints(vars)
+	for _, v := range vars {
+		o := occ[v]
 		for _, tp := range o.pos {
 			from := in.C.Next(tp)
 			for _, tn := range o.neg {

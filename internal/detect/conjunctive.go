@@ -2,6 +2,7 @@ package detect
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/distributed-predicates/gpd/internal/computation"
 	"github.com/distributed-predicates/gpd/internal/conjunctive"
@@ -86,8 +87,16 @@ func (d *conjDetector) Step(ev Event) error {
 }
 
 func (d *conjDetector) Flush() bool {
-	for p, vcs := range d.pending {
-		if len(vcs) > 0 {
+	// Feed the checker in process order: ObserveBatch moves the token
+	// protocol, and the elimination trace (and its work counters) must
+	// not depend on map iteration order.
+	procs := make([]int, 0, len(d.pending))
+	for p := range d.pending {
+		procs = append(procs, p)
+	}
+	sort.Ints(procs)
+	for _, p := range procs {
+		if vcs := d.pending[p]; len(vcs) > 0 {
 			d.checker.ObserveBatch(p, vcs)
 		}
 		delete(d.pending, p)

@@ -18,6 +18,7 @@ package linear
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/distributed-predicates/gpd/internal/computation"
 )
@@ -77,9 +78,13 @@ func Possibly(c *computation.Computation, o Oracle) (bool, computation.Cut) {
 	return ok, k
 }
 
-// conjunctiveOracle adapts per-process local predicates.
+// conjunctiveOracle adapts per-process local predicates. procs holds the
+// involved processes in sorted order: Forbidden picks the first failing
+// process, and which one it names steers the advancement sequence (and
+// the per-run work counters), so the scan order must be deterministic.
 type conjunctiveOracle struct {
 	locals map[computation.ProcID]func(computation.Event) bool
+	procs  []computation.ProcID
 }
 
 // Conjunctive wraps a conjunction of local predicates as a linear oracle:
@@ -87,12 +92,17 @@ type conjunctiveOracle struct {
 // forbidden (its frontier state can never participate in a satisfying
 // cut without advancing).
 func Conjunctive(locals map[computation.ProcID]func(computation.Event) bool) Oracle {
-	return &conjunctiveOracle{locals: locals}
+	procs := make([]computation.ProcID, 0, len(locals))
+	for p := range locals {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	return &conjunctiveOracle{locals: locals, procs: procs}
 }
 
 func (o *conjunctiveOracle) Holds(c *computation.Computation, k computation.Cut) bool {
-	for p, pred := range o.locals {
-		if !pred(c.EventAt(p, k[int(p)])) {
+	for _, p := range o.procs {
+		if !o.locals[p](c.EventAt(p, k[int(p)])) {
 			return false
 		}
 	}
@@ -100,8 +110,8 @@ func (o *conjunctiveOracle) Holds(c *computation.Computation, k computation.Cut)
 }
 
 func (o *conjunctiveOracle) Forbidden(c *computation.Computation, k computation.Cut) computation.ProcID {
-	for p, pred := range o.locals {
-		if !pred(c.EventAt(p, k[int(p)])) {
+	for _, p := range o.procs {
+		if !o.locals[p](c.EventAt(p, k[int(p)])) {
 			return p
 		}
 	}

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// Baseline is the committed set of accepted findings — the ratchet's
+// anchor. Entries identify a finding by module-relative file, rule, and
+// message, deliberately ignoring the line number: edits above a finding
+// move it without changing what it says, and the baseline must not churn
+// (or worse, report a "new" finding) every time unrelated code shifts.
+// Identical findings are matched as a multiset, so a second copy of an
+// already-baselined finding still counts as new.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry identifies one accepted finding.
+type BaselineEntry struct {
+	File string `json:"file"` // module-relative, slash-separated
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// baselineVersion is bumped if the entry identity ever changes shape.
+const baselineVersion = 1
+
+// baselineKey is the identity findings and entries are matched on.
+func (e BaselineEntry) key() string { return e.File + "\x00" + e.Rule + "\x00" + e.Msg }
+
+// entryFor reduces a finding to its baseline identity, relative to the
+// module root so the baseline is machine-independent.
+func entryFor(dir string, f Finding) BaselineEntry {
+	rel := relativize(dir, f)
+	return BaselineEntry{
+		File: filepath.ToSlash(rel.Pos.Filename),
+		Rule: f.Rule,
+		Msg:  f.Msg,
+	}
+}
+
+// NewBaseline records the findings as the accepted set.
+func NewBaseline(dir string, findings []Finding) *Baseline {
+	b := &Baseline{Version: baselineVersion, Findings: make([]BaselineEntry, 0, len(findings))}
+	for _, f := range findings {
+		b.Findings = append(b.Findings, entryFor(dir, f))
+	}
+	sort.Slice(b.Findings, func(i, j int) bool { return b.Findings[i].key() < b.Findings[j].key() })
+	return b
+}
+
+// WriteBaseline serializes the baseline as stable, diffable JSON.
+func (b *Baseline) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadBaseline parses a baseline written by Write.
+func ReadBaseline(r io.Reader) (*Baseline, error) {
+	var b Baseline
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("lint: parse baseline: %w", err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("lint: baseline version %d, want %d (regenerate with -update-baseline)", b.Version, baselineVersion)
+	}
+	return &b, nil
+}
+
+// New returns the findings not covered by the baseline. Matching is a
+// multiset consume: each baseline entry absorbs at most one finding with
+// the same file+rule+msg, so genuine duplicates surface as new.
+func (b *Baseline) New(dir string, findings []Finding) []Finding {
+	budget := make(map[string]int, len(b.Findings))
+	for _, e := range b.Findings {
+		budget[e.key()]++
+	}
+	var out []Finding
+	for _, f := range findings {
+		k := entryFor(dir, f).key()
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// Ratchet compares per-rule counts against the baseline and describes
+// every rule whose count grew. It is the coarse backstop behind New:
+// even if a rename or message drift confuses entry matching, the count
+// per rule must never go up.
+func (b *Baseline) Ratchet(findings []Finding) []string {
+	base := make(map[string]int)
+	for _, e := range b.Findings {
+		base[e.Rule]++
+	}
+	now := make(map[string]int)
+	for _, f := range findings {
+		now[f.Rule]++
+	}
+	rules := make([]string, 0, len(now))
+	for rule := range now {
+		rules = append(rules, rule)
+	}
+	sort.Strings(rules)
+	var out []string
+	for _, rule := range rules {
+		if now[rule] > base[rule] {
+			out = append(out, fmt.Sprintf("rule %s: %d finding(s), baseline has %d — the ratchet only goes down", rule, now[rule], base[rule]))
+		}
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// maporderFindings runs the maporder analyzer over its fixture and
+// returns the findings plus the fixture root they are relative to.
+func maporderFindings(t *testing.T) (string, []Finding) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", "maporder")
+	pkgs := fixture(t, "maporder")
+	findings := Run(pkgs, []*Analyzer{AnalyzerMapOrder})
+	if len(findings) < 3 {
+		t.Fatalf("maporder fixture yielded %d findings, want several", len(findings))
+	}
+	return dir, findings
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	dir, findings := maporderFindings(t)
+
+	var buf bytes.Buffer
+	if err := NewBaseline(dir, findings).Write(&buf); err != nil {
+		t.Fatalf("write baseline: %v", err)
+	}
+	b, err := ReadBaseline(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("read baseline: %v", err)
+	}
+	if got := b.New(dir, findings); len(got) != 0 {
+		t.Errorf("full baseline left %d findings new, want 0: %v", len(got), got)
+	}
+	if msgs := b.Ratchet(findings); len(msgs) != 0 {
+		t.Errorf("ratchet against own findings fired: %v", msgs)
+	}
+
+	// Dropping one entry must surface exactly that finding as new and
+	// trip the ratchet for its rule.
+	short := &Baseline{Version: baselineVersion, Findings: b.Findings[1:]}
+	newOnes := short.New(dir, findings)
+	if len(newOnes) != 1 {
+		t.Fatalf("short baseline left %d findings new, want 1", len(newOnes))
+	}
+	if got := entryFor(dir, newOnes[0]); got != b.Findings[0] {
+		t.Errorf("wrong finding surfaced: got %+v, want %+v", got, b.Findings[0])
+	}
+	msgs := short.Ratchet(findings)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "maporder") {
+		t.Errorf("ratchet = %v, want one maporder violation", msgs)
+	}
+
+	// Duplicate findings are a multiset: a second copy of a baselined
+	// finding is still new.
+	doubled := append(append([]Finding(nil), findings...), findings[0])
+	if got := b.New(dir, doubled); len(got) != 1 {
+		t.Errorf("duplicated finding: %d new, want 1", len(got))
+	}
+}
+
+func TestBaselinePathsAreModuleRelative(t *testing.T) {
+	dir, findings := maporderFindings(t)
+	for _, e := range NewBaseline(dir, findings).Findings {
+		if filepath.IsAbs(e.File) || strings.Contains(e.File, `\`) {
+			t.Errorf("baseline entry file %q is not a relative slash path", e.File)
+		}
+	}
+}
+
+func TestBaselineVersionMismatch(t *testing.T) {
+	_, err := ReadBaseline(strings.NewReader(`{"version": 99, "findings": []}`))
+	if err == nil || !strings.Contains(err.Error(), "-update-baseline") {
+		t.Errorf("version mismatch error = %v, want mention of -update-baseline", err)
+	}
+}
+
+func TestWriteJSONEmptyIsArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, ".", nil); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty findings serialized as %q, want []", got)
+	}
+}
+
+// TestSARIFShape runs a real analyzer over its fixture, renders SARIF,
+// and checks the 2.1.0 shape GitHub code scanning depends on through a
+// schema-agnostic unmarshal.
+func TestSARIFShape(t *testing.T) {
+	dir, findings := maporderFindings(t)
+
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, dir, []*Analyzer{AnalyzerMapOrder}, findings); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	var log map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if v := log["version"]; v != "2.1.0" {
+		t.Errorf("version = %v, want 2.1.0", v)
+	}
+	if s, _ := log["$schema"].(string); !strings.Contains(s, "sarif-schema-2.1.0") {
+		t.Errorf("$schema = %v, want the 2.1.0 schema URI", log["$schema"])
+	}
+	runs, _ := log["runs"].([]any)
+	if len(runs) != 1 {
+		t.Fatalf("runs has %d entries, want 1", len(runs))
+	}
+	run := runs[0].(map[string]any)
+	driver := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if driver["name"] != "gpdlint" {
+		t.Errorf("driver name = %v, want gpdlint", driver["name"])
+	}
+	rules, _ := driver["rules"].([]any)
+	if len(rules) != 1 || rules[0].(map[string]any)["id"] != "maporder" {
+		t.Errorf("driver rules = %v, want the maporder rule", rules)
+	}
+	results, _ := run["results"].([]any)
+	if len(results) != len(findings) {
+		t.Fatalf("results has %d entries, want %d", len(results), len(findings))
+	}
+	for i, r := range results {
+		res := r.(map[string]any)
+		if res["ruleId"] != "maporder" {
+			t.Errorf("result %d ruleId = %v", i, res["ruleId"])
+		}
+		if res["level"] != "warning" {
+			t.Errorf("result %d level = %v, want warning", i, res["level"])
+		}
+		if msg, _ := res["message"].(map[string]any); msg["text"] == "" || msg["text"] == nil {
+			t.Errorf("result %d has no message text", i)
+		}
+		locs, _ := res["locations"].([]any)
+		if len(locs) != 1 {
+			t.Fatalf("result %d has %d locations, want 1", i, len(locs))
+		}
+		phys := locs[0].(map[string]any)["physicalLocation"].(map[string]any)
+		art := phys["artifactLocation"].(map[string]any)
+		uri, _ := art["uri"].(string)
+		if uri == "" || strings.HasPrefix(uri, "/") || strings.Contains(uri, `\`) {
+			t.Errorf("result %d uri = %q, want a relative slash path", i, uri)
+		}
+		if art["uriBaseId"] != "%SRCROOT%" {
+			t.Errorf("result %d uriBaseId = %v, want %%SRCROOT%%", i, art["uriBaseId"])
+		}
+		if line, _ := phys["region"].(map[string]any)["startLine"].(float64); line < 1 {
+			t.Errorf("result %d startLine = %v, want >= 1", i, line)
+		}
+	}
+}
+
+// TestExecOptionsBaselineFlow drives the full driver loop the way CI
+// does: record a baseline, rerun against it clean, then shrink it and
+// watch the run fail with only the new finding reported.
+func TestExecOptionsBaselineFlow(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "maporder")
+	base := filepath.Join(t.TempDir(), "lint.baseline")
+	az := []*Analyzer{AnalyzerMapOrder}
+
+	var out, errOut bytes.Buffer
+	code := ExecOptions(dir, []string{"./..."}, az, &out, &errOut, Options{
+		Baseline: base, UpdateBaseline: true,
+	})
+	if code != ExitClean {
+		t.Fatalf("update-baseline exit = %d, want %d\nstderr: %s", code, ExitClean, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "baseline") {
+		t.Errorf("update-baseline said %q, want a baseline confirmation", errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	code = ExecOptions(dir, []string{"./..."}, az, &out, &errOut, Options{
+		Baseline: base, Ratchet: true,
+	})
+	if code != ExitClean {
+		t.Fatalf("baselined rerun exit = %d, want %d\nstdout: %s\nstderr: %s",
+			code, ExitClean, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("baselined rerun printed findings: %s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "baselined") {
+		t.Errorf("summary %q does not mention absorbed findings", errOut.String())
+	}
+
+	// Shrink the baseline by one entry: the rerun must fail and report
+	// exactly one finding.
+	raw, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadBaseline(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Findings = b.Findings[1:]
+	f, err := os.Create(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	errOut.Reset()
+	code = ExecOptions(dir, []string{"./..."}, az, &out, &errOut, Options{
+		Baseline: base, Ratchet: true,
+	})
+	if code != ExitFindings {
+		t.Fatalf("shrunk-baseline rerun exit = %d, want %d", code, ExitFindings)
+	}
+	if n := strings.Count(strings.TrimSpace(out.String()), "\n") + 1; n != 1 {
+		t.Errorf("shrunk-baseline rerun printed %d findings, want 1:\n%s", n, out.String())
+	}
+	if !strings.Contains(errOut.String(), "ratchet") {
+		t.Errorf("stderr %q does not mention the ratchet", errOut.String())
+	}
+}
+
+func TestExecOptionsCountOnly(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "maporder")
+	var out, errOut bytes.Buffer
+	code := ExecOptions(dir, []string{"./..."}, []*Analyzer{AnalyzerMapOrder}, &out, &errOut, Options{CountOnly: true})
+	if code != ExitFindings {
+		t.Fatalf("exit = %d, want %d", code, ExitFindings)
+	}
+	if out.Len() != 0 {
+		t.Errorf("count-only printed findings: %s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "maporder") {
+		t.Errorf("summary %q does not carry the per-rule count", errOut.String())
+	}
+}
+
+func TestExecOptionsUnknownFormat(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "maporder")
+	var out, errOut bytes.Buffer
+	code := ExecOptions(dir, []string{"./..."}, []*Analyzer{AnalyzerMapOrder}, &out, &errOut, Options{Format: "xml"})
+	if code != ExitError {
+		t.Fatalf("exit = %d, want %d", code, ExitError)
+	}
+	if !strings.Contains(errOut.String(), "xml") {
+		t.Errorf("error %q does not name the bad format", errOut.String())
+	}
+}

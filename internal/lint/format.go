@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+)
+
+// This file renders findings for machines: a flat JSON array for
+// scripting, and SARIF 2.1.0 for code-scanning UIs (GitHub annotates
+// PR diffs from an uploaded SARIF file). Both use module-relative
+// slash paths so the output is stable across checkouts.
+
+// jsonFinding is one finding in -format json output.
+type jsonFinding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// WriteJSON renders the findings as a JSON array (never null: an empty
+// run is an empty array, so jq pipelines need no special case).
+func WriteJSON(w io.Writer, dir string, findings []Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		rel := relativize(dir, f)
+		out = append(out, jsonFinding{
+			File: filepath.ToSlash(rel.Pos.Filename),
+			Line: f.Pos.Line,
+			Rule: f.Rule,
+			Msg:  f.Msg,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// SARIF 2.1.0 subset — just enough structure for GitHub code scanning:
+// one run, one driver, one rule per analyzer, one result per finding.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine int `json:"startLine"`
+}
+
+const sarifSchemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+// WriteSARIF renders the findings as a SARIF 2.1.0 log. The rules
+// section lists every analyzer that ran (found something or not), so the
+// scanning UI can show the rule catalog; results carry module-relative
+// paths under %SRCROOT%, which GitHub resolves against the repository
+// root.
+func WriteSARIF(w io.Writer, dir string, analyzers []*Analyzer, findings []Finding) error {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		rel := relativize(dir, f)
+		results = append(results, sarifResult{
+			RuleID:  f.Rule,
+			Level:   "warning",
+			Message: sarifMessage{Text: f.Msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       filepath.ToSlash(rel.Pos.Filename),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{StartLine: f.Pos.Line},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  sarifSchemaURI,
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "gpdlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -3,14 +3,30 @@
 // go/types (source importer, stdlib only — no external analysis
 // frameworks) and runs a pluggable set of analyzers that machine-check
 // invariants the compiler cannot see but the paper's guarantees depend
-// on: deterministic replayable computations, nil-safe observability
-// calls, strict layering between the theory core and the serving stack,
-// no blocking work under mutexes, and no leaked goroutines.
+// on: deterministic replayable computations (no escaping map-iteration
+// order, no wall clock), nil-safe observability calls, strict layering
+// between the theory core and the serving stack, no blocking work under
+// mutexes, a cycle-free global lock order, allocation-free hot paths,
+// and no leaked goroutines or dropped transport errors.
 //
 // Findings print as "file:line: [rule] message". A finding is suppressed
 // by a "//lint:ignore rule1,rule2 reason" comment on the offending line
 // or on the line directly above it; the reason is mandatory, and a
 // directive without one is itself reported under the "ignore" rule.
+//
+// Two further directives parameterize the hotalloc analyzer: a
+// "//lint:hotpath" line in a function's doc comment marks it as a
+// hot-path root — every function reachable from it through the static
+// call graph must avoid avoidable allocations — and "//lint:coldpath"
+// marks a slow-path boundary that reachability does not cross (for
+// example the SLO breach dump, which is called from the ingest path but
+// fires at most once per rule transition).
+//
+// A committed baseline (see Baseline) turns the suite into a ratchet:
+// runs against it fail only on findings not already recorded, and with
+// Options.Ratchet any per-rule count growth fails even when entry
+// matching is confused. WriteJSON and WriteSARIF render findings for
+// machines; CI uploads the SARIF 2.1.0 form to code scanning.
 package lint
 
 import (
@@ -19,8 +35,10 @@ import (
 	"go/token"
 	"go/types"
 	"io"
+	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -74,7 +92,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Analyzer is one named rule.
+// Analyzer is one named rule. A rule is either per-package (Run) or
+// whole-module (RunModule): module rules see every loaded package at
+// once, which is what lets lockorder stitch a global lock graph and
+// hotalloc follow calls across package boundaries.
 type Analyzer struct {
 	// Name is the rule name used in findings and ignore directives.
 	Name string
@@ -82,6 +103,37 @@ type Analyzer struct {
 	Doc string
 	// Run reports the rule's findings for one package.
 	Run func(*Pass)
+	// RunModule reports the rule's findings over the whole load at once.
+	RunModule func(*ModulePass)
+}
+
+// ModulePass is one (analyzer, whole load) run. The shared module index
+// (function declarations + static call graph) is built lazily and
+// reused by every module analyzer of the same Run.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+	index    *moduleIndex
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos. Every package of one load shares a
+// FileSet, so any package's Fset positions the whole module.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:  p.Pkgs[0].Fset.Position(pos),
+		Rule: p.Analyzer.Name,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Index returns the load's function/call-graph index, building it on
+// first use.
+func (p *ModulePass) Index() *moduleIndex {
+	if p.index == nil {
+		p.index = buildModuleIndex(p.Pkgs)
+	}
+	return p.index
 }
 
 // Analyzers returns the full rule set, sorted by name.
@@ -92,29 +144,49 @@ func Analyzers() []*Analyzer {
 		AnalyzerObsNil,
 		AnalyzerDetPTime,
 		AnalyzerCtxLeak,
+		AnalyzerMapOrder,
+		AnalyzerLockOrder,
+		AnalyzerHotAlloc,
+		AnalyzerErrDrop,
 	}
 	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
 	return as
 }
 
-// ByName resolves a comma-separated rule list against the full set.
+// ByName resolves a comma-separated rule list against the full set. All
+// unknown names are rejected together, with the available rules listed,
+// so a typo in a CI -rules flag fails loudly instead of silently
+// narrowing the run.
 func ByName(names string) ([]*Analyzer, error) {
 	all := Analyzers()
 	if names == "" {
 		return all, nil
 	}
 	index := make(map[string]*Analyzer, len(all))
+	known := make([]string, 0, len(all))
 	for _, a := range all {
 		index[a.Name] = a
+		known = append(known, a.Name)
 	}
 	var out []*Analyzer
+	var unknown []string
+	seen := make(map[string]bool)
 	for _, n := range strings.Split(names, ",") {
 		n = strings.TrimSpace(n)
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
 		a, ok := index[n]
 		if !ok {
-			return nil, fmt.Errorf("lint: unknown rule %q", n)
+			unknown = append(unknown, strconv.Quote(n))
+			continue
 		}
 		out = append(out, a)
+	}
+	if len(unknown) > 0 {
+		return nil, fmt.Errorf("lint: unknown rule(s) %s (available: %s)",
+			strings.Join(unknown, ", "), strings.Join(known, ", "))
 	}
 	return out, nil
 }
@@ -123,12 +195,26 @@ func ByName(names string) ([]*Analyzer, error) {
 // suppression, and returns the surviving findings sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	var findings []Finding
+	var mp *ModulePass // module analyzers share one lazily built index
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{Analyzer: a, Pkg: pkg, findings: &findings}
 			a.Run(pass)
 		}
 		findings = append(findings, malformedDirectives(pkg)...)
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		if mp == nil {
+			mp = &ModulePass{Pkgs: pkgs, findings: &findings}
+		}
+		mp.Analyzer = a
+		a.RunModule(mp)
 	}
 	findings = suppress(pkgs, findings)
 	sort.Slice(findings, func(i, j int) bool {
@@ -151,21 +237,100 @@ const (
 	ExitError    = 2 // the load itself failed (parse or type error)
 )
 
-// Exec is the whole driver: load the patterns rooted at dir, run the
-// analyzers, print findings to out and a per-rule count summary to
-// errOut (always, success included), and return the process exit code.
+// Options configures one driver run beyond the analyzer set.
+type Options struct {
+	// Format selects the finding encoding on out: "text" (default,
+	// file:line: [rule] message), "json", or "sarif" (2.1.0).
+	Format string
+	// Baseline is the path of the accepted-findings file; when set, only
+	// findings not absorbed by the baseline are reported and fail the
+	// run.
+	Baseline string
+	// UpdateBaseline rewrites Baseline from this run's findings and
+	// exits clean: the way a newly accepted debt level is recorded.
+	UpdateBaseline bool
+	// Ratchet additionally fails the run when any rule's finding count
+	// exceeds its baseline count, even if entry matching absorbed them.
+	Ratchet bool
+	// CountOnly suppresses the per-finding lines of text output; only
+	// the per-rule summary on errOut remains.
+	CountOnly bool
+}
+
+// Exec is the plain driver: load, run, print text findings, summarize.
 func Exec(dir string, patterns []string, analyzers []*Analyzer, out, errOut io.Writer) int {
+	return ExecOptions(dir, patterns, analyzers, out, errOut, Options{})
+}
+
+// ExecOptions is the whole driver: load the patterns rooted at dir, run
+// the analyzers, apply the baseline, render findings to out in the
+// selected format, print a per-rule count summary to errOut (always,
+// success included), and return the process exit code.
+func ExecOptions(dir string, patterns []string, analyzers []*Analyzer, out, errOut io.Writer, opts Options) int {
 	pkgs, err := Load(patterns, dir)
 	if err != nil {
 		fmt.Fprintf(errOut, "gpdlint: %v\n", err)
 		return ExitError
 	}
 	findings := Run(pkgs, analyzers)
-	for _, f := range findings {
-		fmt.Fprintln(out, relativize(dir, f))
+
+	if opts.UpdateBaseline {
+		if opts.Baseline == "" {
+			fmt.Fprintln(errOut, "gpdlint: -update-baseline needs -baseline <file>")
+			return ExitError
+		}
+		if err := writeBaselineFile(opts.Baseline, dir, findings); err != nil {
+			fmt.Fprintf(errOut, "gpdlint: %v\n", err)
+			return ExitError
+		}
+		fmt.Fprintf(errOut, "gpdlint: baseline %s updated with %d finding(s)\n",
+			opts.Baseline, len(findings))
+		return ExitClean
+	}
+
+	report := findings
+	absorbed := 0
+	var ratchet []string
+	if opts.Baseline != "" {
+		b, err := readBaselineFile(opts.Baseline)
+		if err != nil {
+			fmt.Fprintf(errOut, "gpdlint: %v\n", err)
+			return ExitError
+		}
+		report = b.New(dir, findings)
+		absorbed = len(findings) - len(report)
+		if opts.Ratchet {
+			ratchet = b.Ratchet(findings)
+		}
+	}
+
+	switch opts.Format {
+	case "", "text":
+		if !opts.CountOnly {
+			for _, f := range report {
+				fmt.Fprintln(out, relativize(dir, f))
+			}
+		}
+	case "json":
+		if err := WriteJSON(out, dir, report); err != nil {
+			fmt.Fprintf(errOut, "gpdlint: %v\n", err)
+			return ExitError
+		}
+	case "sarif":
+		if err := WriteSARIF(out, dir, analyzers, report); err != nil {
+			fmt.Fprintf(errOut, "gpdlint: %v\n", err)
+			return ExitError
+		}
+	default:
+		fmt.Fprintf(errOut, "gpdlint: unknown format %q (want text, json or sarif)\n", opts.Format)
+		return ExitError
+	}
+
+	for _, m := range ratchet {
+		fmt.Fprintf(errOut, "gpdlint: ratchet: %s\n", m)
 	}
 	counts := make(map[string]int)
-	for _, f := range findings {
+	for _, f := range report {
 		counts[f.Rule]++
 	}
 	parts := make([]string, 0, len(analyzers))
@@ -175,18 +340,53 @@ func Exec(dir string, patterns []string, analyzers []*Analyzer, out, errOut io.W
 	if n := counts["ignore"]; n > 0 {
 		parts = append(parts, fmt.Sprintf("ignore %d", n))
 	}
-	fmt.Fprintf(errOut, "gpdlint: %d finding(s) in %d package(s) (%s)\n",
-		len(findings), len(pkgs), strings.Join(parts, ", "))
-	if len(findings) > 0 {
+	suffix := ""
+	if absorbed > 0 {
+		suffix = fmt.Sprintf(", %d baselined", absorbed)
+	}
+	fmt.Fprintf(errOut, "gpdlint: %d finding(s) in %d package(s) (%s)%s\n",
+		len(report), len(pkgs), strings.Join(parts, ", "), suffix)
+	if len(report) > 0 || len(ratchet) > 0 {
 		return ExitFindings
 	}
 	return ExitClean
 }
 
+// writeBaselineFile records the findings at path, atomically enough for
+// a tool run (write then rename is overkill for a committed file).
+func writeBaselineFile(path, dir string, findings []Finding) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("lint: write baseline: %w", err)
+	}
+	werr := NewBaseline(dir, findings).Write(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("lint: write baseline: %w", werr)
+	}
+	return nil
+}
+
+// readBaselineFile loads the baseline at path.
+func readBaselineFile(path string) (*Baseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: read baseline: %w", err)
+	}
+	defer f.Close()
+	return ReadBaseline(f)
+}
+
 // relativize shortens a finding's filename relative to dir for readable
 // driver output.
 func relativize(dir string, f Finding) Finding {
-	if rel, err := filepath.Rel(dir, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+	base := dir
+	if abs, err := filepath.Abs(dir); err == nil {
+		base = abs
+	}
+	if rel, err := filepath.Rel(base, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 		f.Pos.Filename = rel
 	}
 	return f

@@ -84,11 +84,15 @@ func golden(t *testing.T, a *Analyzer) {
 	}
 }
 
-func TestGoldenLockHeld(t *testing.T) { golden(t, AnalyzerLockHeld) }
-func TestGoldenLayering(t *testing.T) { golden(t, AnalyzerLayering) }
-func TestGoldenObsNil(t *testing.T)   { golden(t, AnalyzerObsNil) }
-func TestGoldenDetPTime(t *testing.T) { golden(t, AnalyzerDetPTime) }
-func TestGoldenCtxLeak(t *testing.T)  { golden(t, AnalyzerCtxLeak) }
+func TestGoldenLockHeld(t *testing.T)  { golden(t, AnalyzerLockHeld) }
+func TestGoldenLayering(t *testing.T)  { golden(t, AnalyzerLayering) }
+func TestGoldenObsNil(t *testing.T)    { golden(t, AnalyzerObsNil) }
+func TestGoldenDetPTime(t *testing.T)  { golden(t, AnalyzerDetPTime) }
+func TestGoldenCtxLeak(t *testing.T)   { golden(t, AnalyzerCtxLeak) }
+func TestGoldenMapOrder(t *testing.T)  { golden(t, AnalyzerMapOrder) }
+func TestGoldenLockOrder(t *testing.T) { golden(t, AnalyzerLockOrder) }
+func TestGoldenHotAlloc(t *testing.T)  { golden(t, AnalyzerHotAlloc) }
+func TestGoldenErrDrop(t *testing.T)   { golden(t, AnalyzerErrDrop) }
 
 // TestIgnoreSuppression checks the directive semantics end to end: a
 // well-formed directive suppresses, a reason-less one is reported and
@@ -174,8 +178,8 @@ func TestExecSummaryOnFindings(t *testing.T) {
 // TestByName resolves rule subsets and rejects unknown names.
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 5 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 5, nil", len(all), err)
+	if err != nil || len(all) != 9 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 9, nil", len(all), err)
 	}
 	two, err := ByName("lockheld, layering")
 	if err != nil || len(two) != 2 {
@@ -183,6 +187,20 @@ func TestByName(t *testing.T) {
 	}
 	if _, err := ByName("nosuchrule"); err == nil {
 		t.Fatal("ByName(nosuchrule) did not fail")
+	}
+	_, err = ByName("maporder,nosuchrule,alsomissing,nosuchrule")
+	if err == nil {
+		t.Fatal("ByName with unknown rules did not fail")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "nosuchrule") || !strings.Contains(msg, "alsomissing") {
+		t.Errorf("error does not name every unknown rule: %q", msg)
+	}
+	if !strings.Contains(msg, "available:") || !strings.Contains(msg, "maporder") {
+		t.Errorf("error does not list the available rules: %q", msg)
+	}
+	if strings.Count(msg, "nosuchrule") != 1 {
+		t.Errorf("duplicate unknown rule reported twice: %q", msg)
 	}
 }
 

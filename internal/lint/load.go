@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Load parses and type-checks the packages matched by the patterns,
@@ -37,18 +38,12 @@ func Load(patterns []string, dir string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	l := &loader{
-		fset:     token.NewFileSet(),
-		modRoot:  modRoot,
-		modPath:  modPath,
-		dirs:     make(map[string]string),
-		pkgs:     make(map[string]*Package),
-		checking: make(map[string]bool),
-	}
-	l.std = importer.ForCompiler(l.fset, "source", nil).(types.ImporterFrom)
-	if err := l.index(); err != nil {
+	l, err := moduleLoader(modRoot, modPath)
+	if err != nil {
 		return nil, err
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	want, err := l.expand(patterns, abs)
 	if err != nil {
 		return nil, err
@@ -87,8 +82,45 @@ func findModule(dir string) (root, path string, err error) {
 	}
 }
 
+// loaderCache memoizes one loader per module root for the lifetime of
+// the process. Parsing and type-checking the module (and, through the
+// source importer, its slice of the standard library) dominates a lint
+// run; sharing the loader means the driver's text, baseline, and SARIF
+// stages — and every fixture-module test — pay for the load once. The
+// cache assumes sources do not change underneath a running process,
+// which holds for both the CLI and the test suite.
+var loaderCache = struct {
+	sync.Mutex
+	byRoot map[string]*loader
+}{byRoot: make(map[string]*loader)}
+
+// moduleLoader returns the process-wide loader for a module root,
+// creating and indexing it on first use.
+func moduleLoader(modRoot, modPath string) (*loader, error) {
+	loaderCache.Lock()
+	defer loaderCache.Unlock()
+	if l, ok := loaderCache.byRoot[modRoot]; ok {
+		return l, nil
+	}
+	l := &loader{
+		fset:     token.NewFileSet(),
+		modRoot:  modRoot,
+		modPath:  modPath,
+		dirs:     make(map[string]string),
+		pkgs:     make(map[string]*Package),
+		checking: make(map[string]bool),
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil).(types.ImporterFrom)
+	if err := l.index(); err != nil {
+		return nil, err
+	}
+	loaderCache.byRoot[modRoot] = l
+	return l, nil
+}
+
 // loader loads and memoizes the module's packages.
 type loader struct {
+	mu       sync.Mutex // serializes Load calls sharing this cached loader
 	fset     *token.FileSet
 	modRoot  string
 	modPath  string

@@ -1,0 +1,3 @@
+module example.com/errdrop
+
+go 1.22

@@ -1,0 +1,56 @@
+// Package stream is the errdrop fixture: discarded errors on conn
+// deadlines, encoders, and flushes, next to the handled versions and the
+// deliberately exempt Close idiom.
+package stream
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"time"
+)
+
+func serve(conn net.Conn) {
+	defer conn.Close() // Close is exempt: best-effort teardown is the idiom
+
+	conn.SetReadDeadline(time.Now()) // want `net\.Conn\.SetReadDeadline error discarded`
+
+	bw := bufio.NewWriter(conn)
+	enc := json.NewEncoder(bw)
+	dec := json.NewDecoder(conn)
+
+	enc.Encode(struct{}{}) // want `json\.Encoder\.Encode error discarded`
+
+	var v struct{}
+	dec.Decode(&v) // want `json\.Decoder\.Decode error discarded`
+
+	bw.Flush() // want `bufio\.Writer\.Flush error discarded`
+
+	n, _ := conn.Write(nil) // want `net\.Conn\.Write error assigned to _`
+	_ = n
+
+	defer bw.Flush() // want `bufio\.Writer\.Flush error discarded by defer`
+}
+
+// handled is the clean counterpart: every error is looked at.
+func handled(conn net.Conn) error {
+	if err := conn.SetWriteDeadline(time.Now()); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(conn)
+	if err := json.NewEncoder(bw).Encode(struct{}{}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// reader is not a net type: its Read errors are none of this rule's
+// business (io.Reader loops handle io.EOF idiomatically).
+type reader struct{}
+
+func (reader) Read(p []byte) (int, error) { return 0, nil }
+
+func drain(r reader) {
+	buf := make([]byte, 16)
+	r.Read(buf)
+}

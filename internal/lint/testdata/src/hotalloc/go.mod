@@ -1,0 +1,3 @@
+module example.com/hotalloc
+
+go 1.22

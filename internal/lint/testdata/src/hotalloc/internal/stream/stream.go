@@ -1,0 +1,63 @@
+// Package stream is the hotalloc fixture: an annotated ingest root, the
+// helpers it reaches, a coldpath boundary, and an unannotated function
+// whose allocations are nobody's business.
+package stream
+
+type event struct {
+	proc int
+	vc   []int64
+}
+
+type engine struct {
+	out   []event
+	ring  []event
+	count int
+}
+
+// Append is the fixture's ingest root.
+//
+//lint:hotpath
+func (e *engine) Append(ev event) {
+	r := &event{proc: ev.proc} // want `escaping composite literal in internal/stream\.engine\.Append \(a //lint:hotpath root\)`
+	_ = r
+	vcs := []int64{1, 2} // want `slice/map literal allocates`
+	_ = vcs
+	buf := make([]event, 0) // want `make allocates in internal/stream\.engine\.Append`
+	buf = append(buf, ev)   // want `append may grow its backing array` (make'd without capacity)
+	pre := make([]event, 0, 8)
+	pre = append(pre, ev) // preallocated with capacity: sanctioned
+	_ = pre
+	e.out = append(e.out, ev)   // want `append may grow its backing array in internal/stream\.engine\.Append`
+	key := string(ev.vcBytes()) // want `\[\]byte->string conversion copies`
+	_ = key
+	fn := func() int { return ev.proc } // want `closure captures ev in internal/stream\.engine\.Append`
+	_ = fn()
+	e.record(ev)
+	e.dump()
+}
+
+func (e *event) vcBytes() []byte { return nil }
+
+// record is reachable from the root: its allocations are on the hot path.
+func (e *engine) record(ev event) {
+	e.ring = append(e.ring, ev) // want `append may grow its backing array in internal/stream\.engine\.record on the hot path from internal/stream\.engine\.Append`
+}
+
+// dump is the slow-path boundary: reachability stops here, so its
+// allocations pass.
+//
+//lint:coldpath
+func (e *engine) dump() {
+	all := make([]event, 0)
+	all = append(all, e.ring...)
+	_ = all
+}
+
+// offline is not annotated and not reachable from a root: allocate away.
+func (e *engine) offline(evs []event) []event {
+	out := make([]event, 0)
+	for _, ev := range evs {
+		out = append(out, ev)
+	}
+	return out
+}

@@ -1,0 +1,38 @@
+// Package mux is the lockorder fixture's via-call half: the reverse
+// edge of the cycle is acquired inside a helper, so it is only visible
+// through the call-graph summaries.
+package mux
+
+import "sync"
+
+type C struct {
+	mu    sync.Mutex
+	other *D
+}
+
+type D struct {
+	mu    sync.Mutex
+	other *C
+}
+
+func (c *C) lockCD() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.other.lockD()
+}
+
+func (d *D) lockD() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+}
+
+func (d *D) lockDC() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.other.lockC() // want `lock-order cycle \(deadlock risk\): mux\.C\.mu -> mux\.D\.mu -> mux\.C\.mu.*via call to internal/mux\.C\.lockC`
+}
+
+func (c *C) lockC() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+}

@@ -1,0 +1,53 @@
+// Package stream is the lockorder fixture's direct-cycle half: two
+// mutexes acquired in opposite orders by two methods — the textbook
+// deadlock the rule exists to catch — next to a pair that agrees on one
+// global order.
+package stream
+
+import "sync"
+
+type A struct {
+	mu    sync.Mutex
+	other *B
+}
+
+type B struct {
+	mu    sync.Mutex
+	other *A
+}
+
+// lockAB takes A.mu then B.mu: the edge A.mu -> B.mu.
+func (a *A) lockAB() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.other.mu.Lock()
+	defer a.other.mu.Unlock()
+}
+
+// lockBA takes B.mu then A.mu: the reverse edge closes the cycle here.
+func (b *B) lockBA() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.other.mu.Lock() // want `lock-order cycle \(deadlock risk\): stream\.A\.mu -> stream\.B\.mu -> stream\.A\.mu`
+	defer b.other.mu.Unlock()
+}
+
+// Consistent order everywhere: no cycle.
+type ordered struct {
+	first  sync.Mutex
+	second sync.Mutex
+}
+
+func (o *ordered) both() {
+	o.first.Lock()
+	defer o.first.Unlock()
+	o.second.Lock()
+	defer o.second.Unlock()
+}
+
+func (o *ordered) bothAgain() {
+	o.first.Lock()
+	o.second.Lock()
+	o.second.Unlock()
+	o.first.Unlock()
+}

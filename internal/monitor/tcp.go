@@ -191,7 +191,9 @@ func (s *Server) serve(conn net.Conn) {
 	announced := false // first Detected=true reply on this connection
 	for {
 		if s.idleTimeout > 0 {
-			conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
+			if err := conn.SetReadDeadline(time.Now().Add(s.idleTimeout)); err != nil {
+				return // connection already dead; without the deadline a silent probe would hold the goroutine forever
+			}
 		}
 		var wobs wireObservation
 		if err := dec.Decode(&wobs); err != nil {
@@ -227,7 +229,9 @@ func (s *Server) serve(conn net.Conn) {
 			s.logger.Info("detection announced", "peer", peer, "proc", wobs.Proc)
 		}
 		if s.writeTimeout > 0 {
-			conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+			if err := conn.SetWriteDeadline(time.Now().Add(s.writeTimeout)); err != nil {
+				return // connection already dead; an unarmed deadline would let a stalled probe wedge the reply
+			}
 		}
 		if err := enc.Encode(st); err != nil {
 			return

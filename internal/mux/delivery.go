@@ -65,6 +65,7 @@ func (d *Delivery) Step(ev detect.Event) error {
 	if own <= d.delivered[ev.Proc] && !d.heldBack(ev.Proc, own) {
 		return nil // duplicate
 	}
+	//lint:ignore hotalloc the holdback buffer grows by design — it absorbs causal reordering and is bounded by the session layer's MaxWindow policy, and the backing array is reused across drains
 	d.holdback = append(d.holdback, ev)
 	d.drain()
 	return d.err
@@ -103,6 +104,7 @@ func (d *Delivery) drain() {
 				d.deliver(ev)
 				progress = true
 			} else {
+				//lint:ignore hotalloc kept aliases d.holdback[:0], so this append compacts in place and never outgrows the existing backing array
 				kept = append(kept, ev)
 			}
 		}

@@ -316,6 +316,8 @@ func (g *Group) failPred(p *predicate, err error) {
 }
 
 // Step ingests one event; causally ready events are routed immediately.
+//
+//lint:hotpath
 func (g *Group) Step(ev detect.Event) error {
 	return g.delivery.Step(ev)
 }

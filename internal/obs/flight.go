@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -106,6 +107,7 @@ func (f *Flight) Record(r FlightRecord) {
 	}
 	f.mu.Lock()
 	if len(f.buf) < cap(f.buf) {
+		//lint:ignore hotalloc the ring is preallocated to capacity in NewFlight and this branch runs only while len < cap, so the append never reallocates
 		f.buf = append(f.buf, r)
 	} else {
 		f.buf[f.next] = r
@@ -269,14 +271,27 @@ func writeFlightChrome(w io.Writer, recs []FlightRecord) error {
 		}
 	}
 
+	// Emit the metadata events in sorted order so the exported trace is
+	// byte-identical run to run.
 	var evs []chromeEvent
-	for pid, name := range pidNames {
+	pids := make([]int, 0, len(pidNames))
+	for pid := range pidNames {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
 		evs = append(evs, chromeEvent{
 			Name: "process_name", Ph: "M", PID: pid,
-			Args: map[string]any{"name": name},
+			Args: map[string]any{"name": pidNames[pid]},
 		})
 	}
-	for session, tid := range tids {
+	sessions := make([]string, 0, len(tids))
+	for session := range tids {
+		sessions = append(sessions, session)
+	}
+	sort.Strings(sessions)
+	for _, session := range sessions {
+		tid := tids[session]
 		name := session
 		if name == "" {
 			name = "transport"

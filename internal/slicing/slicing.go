@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sort"
 
 	"github.com/distributed-predicates/gpd/internal/computation"
 	"github.com/distributed-predicates/gpd/internal/lattice"
@@ -252,7 +253,14 @@ func (s *Slice) Verify(o Oracle) error {
 	if bad != "" {
 		return fmt.Errorf("%w: %s", ErrNotRegular, bad)
 	}
+	// Check (and so report) missing cuts in sorted key order: which cut
+	// the error names must not depend on map iteration order.
+	keys := make([]string, 0, len(want))
 	for key := range want {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
 		if !got[key] {
 			return fmt.Errorf("%w: satisfying cut %s missing from slice", ErrNotRegular, key)
 		}
@@ -263,16 +271,25 @@ func (s *Slice) Verify(o Oracle) error {
 // ConjunctiveOracle adapts local predicates (the canonical regular
 // predicate) for slicing.
 func ConjunctiveOracle(locals map[computation.ProcID]func(computation.Event) bool) Oracle {
-	return conjOracle{locals: locals}
+	procs := make([]computation.ProcID, 0, len(locals))
+	for p := range locals {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	return conjOracle{locals: locals, procs: procs}
 }
 
+// conjOracle scans processes in sorted order: Forbidden names the first
+// failing process, and that choice steers the slice construction, so the
+// scan must not follow map iteration order.
 type conjOracle struct {
 	locals map[computation.ProcID]func(computation.Event) bool
+	procs  []computation.ProcID
 }
 
 func (o conjOracle) Holds(c *computation.Computation, k computation.Cut) bool {
-	for p, pred := range o.locals {
-		if !pred(c.EventAt(p, k[int(p)])) {
+	for _, p := range o.procs {
+		if !o.locals[p](c.EventAt(p, k[int(p)])) {
 			return false
 		}
 	}
@@ -280,8 +297,8 @@ func (o conjOracle) Holds(c *computation.Computation, k computation.Cut) bool {
 }
 
 func (o conjOracle) Forbidden(c *computation.Computation, k computation.Cut) computation.ProcID {
-	for p, pred := range o.locals {
-		if !pred(c.EventAt(p, k[int(p)])) {
+	for _, p := range o.procs {
+		if !o.locals[p](c.EventAt(p, k[int(p)])) {
 			return p
 		}
 	}

@@ -3,7 +3,7 @@ package stream
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -238,11 +238,20 @@ func NewEngine(cfg Config) *Engine {
 	return e
 }
 
-// shardFor hashes a session id onto its owning shard.
+// shardFor hashes a session id onto its owning shard. FNV-1a is inlined
+// over the string: hash/fnv would allocate a hasher and copy the id into
+// a []byte on every Append.
 func (e *Engine) shardFor(id string) *shard {
-	h := fnv.New32a()
-	h.Write([]byte(id))
-	return e.shards[int(h.Sum32())%len(e.shards)]
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
+	}
+	return e.shards[int(h)%len(e.shards)]
 }
 
 // run is one shard worker loop: drain a batch, apply every message, then
@@ -251,6 +260,7 @@ func (e *Engine) run(sh *shard) {
 	defer e.wg.Done()
 	batch := make([]shardMsg, 0, e.cfg.BatchSize)
 	touched := make(map[string]*handle)
+	var ids []string // reused per batch for sorted flush order
 	tick := 0
 	for {
 		var ok bool
@@ -281,7 +291,16 @@ func (e *Engine) run(sh *shard) {
 				}
 			}
 		}
-		for id, h := range touched {
+		// Flush touched sessions in sorted id order: Record/publish feed
+		// the flight recorder and the metrics registry, whose contents
+		// are diffed run to run — map order must not leak into them.
+		ids := ids[:0]
+		for id := range touched {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			h := touched[id]
 			delete(touched, id)
 			if h.sess == nil {
 				continue // closed within the batch
@@ -567,8 +586,14 @@ func (e *Engine) foldFinalizeWork(tr *obs.Trace) {
 	if tr == nil {
 		return
 	}
-	for name, v := range tr.Report().Counters {
-		e.cfg.Metrics.Counter(obs.Label("stream_finalize_work_total", "counter", name)).Add(v)
+	counters := tr.Report().Counters
+	names := make([]string, 0, len(counters))
+	for name := range counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e.cfg.Metrics.Counter(obs.Label("stream_finalize_work_total", "counter", name)).Add(counters[name])
 	}
 }
 
@@ -599,6 +624,8 @@ func (e *Engine) Open(id string, spec Spec) error {
 // detection happen on the owning shard worker; under the DropOldest
 // policy an overloaded mailbox sheds its oldest append frame, which is
 // counted in the shard's dropped counters.
+//
+//lint:hotpath
 func (e *Engine) Append(id string, events []Event) error {
 	if e.closed.Load() {
 		return ErrEngineClosed
@@ -676,10 +703,21 @@ func (e *Engine) Unregister(session, predID string) error {
 	if err != nil {
 		return err
 	}
-	for t, n := range rep.tenants {
-		e.releaseTenant(t, n)
-	}
+	releaseTenants(e, rep.tenants)
 	return nil
+}
+
+// releaseTenants returns slots to tenants in sorted name order, so the
+// per-tenant gauges move identically run to run.
+func releaseTenants(e *Engine, tenants map[string]int) {
+	names := make([]string, 0, len(tenants))
+	for t := range tenants {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	for _, t := range names {
+		e.releaseTenant(t, tenants[t])
+	}
 }
 
 // CloseSession finalizes a session and returns its verdict (including
@@ -697,9 +735,7 @@ func (e *Engine) ClosePredicates(id string) (Verdict, []mux.Update, error) {
 	if err != nil {
 		return Verdict{}, nil, err
 	}
-	for t, n := range r.tenants {
-		e.releaseTenant(t, n)
-	}
+	releaseTenants(e, r.tenants)
 	return r.verdict, r.preds, r.err
 }
 
@@ -796,6 +832,9 @@ func (e *Engine) Snapshot() Snapshot {
 		snap.Sessions = append(snap.Sessions, v.(*handle).stats())
 		return true
 	})
+	// sync.Map range order is arbitrary; snapshots are diffed in tests
+	// and scraped by CI, so present sessions in id order.
+	sort.Slice(snap.Sessions, func(i, j int) bool { return snap.Sessions[i].ID < snap.Sessions[j].ID })
 	e.predMu.Lock()
 	snap.Predicates = e.predTotal
 	if len(e.tenantCounts) > 0 {

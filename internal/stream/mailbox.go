@@ -101,6 +101,7 @@ func (mb *mailbox) put(m shardMsg, policy OverflowPolicy) (dropped []shardMsg, o
 		}
 		if m.kind == msgAppend && policy == DropOldest {
 			if d, found := mb.dropOldestAppendLocked(); found {
+				//lint:ignore hotalloc sheds happen only when the mailbox is already overflowing — the allocation is confined to the overload path, where dropping beats stalling
 				dropped = append(dropped, d)
 				continue
 			}

@@ -115,6 +115,7 @@ func (s *Server) Close() error {
 		s.mu.Lock()
 		conns := make([]net.Conn, 0, len(s.conns))
 		for c := range s.conns {
+			//lint:ignore maporder close order of the surviving connections is immaterial; each close is independent and nothing downstream observes the sequence
 			conns = append(conns, c)
 		}
 		s.mu.Unlock()
@@ -164,7 +165,9 @@ func (s *Server) serve(conn net.Conn) {
 	bw := bufio.NewWriter(conn)
 	for {
 		if s.idleTimeout > 0 {
-			conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
+			if err := conn.SetReadDeadline(time.Now().Add(s.idleTimeout)); err != nil {
+				return // connection already dead; without the deadline a silent peer would hold the goroutine forever
+			}
 		}
 		req, err := DecodeRequest(br)
 		if err != nil {
@@ -189,7 +192,9 @@ func (s *Server) serve(conn net.Conn) {
 // reply frames one response; returns false when the connection is dead.
 func (s *Server) reply(conn net.Conn, bw *bufio.Writer, resp Response) bool {
 	if s.writeTimeout > 0 {
-		conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+		if err := conn.SetWriteDeadline(time.Now().Add(s.writeTimeout)); err != nil {
+			return false // connection already dead; an unarmed deadline would let a stalled peer wedge the write
+		}
 	}
 	if err := EncodeResponse(bw, resp); err != nil {
 		return false

@@ -167,6 +167,8 @@ func (s *Session) Tenants() map[string]int { return s.group.Tenants() }
 // is handled by the holdback buffer. Returns the session's sticky error,
 // if any. In a multiplexed session a single detector's failure is NOT a
 // session error — it surfaces in that predicate's update stream.
+//
+//lint:hotpath
 func (s *Session) Step(ev Event) error {
 	if s.err != nil {
 		return s.err

@@ -71,7 +71,11 @@ type SLOConfig struct {
 }
 
 // breach accounts one SLO violation: bump the rule's counter, write the
-// flight dump if this rule has not dumped yet, then notify.
+// flight dump if this rule has not dumped yet, then notify. Breaches
+// fire at most once per rule transition (dumps once per rule, ever), so
+// even though the ingest path calls it, it is a slow-path boundary.
+//
+//lint:coldpath
 func (e *Engine) breach(rule, detail string) {
 	e.mBreaches[rule].Inc()
 	path := ""
