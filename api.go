@@ -1,7 +1,9 @@
 package gpd
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 
 	"github.com/distributed-predicates/gpd/internal/detect"
 	"github.com/distributed-predicates/gpd/internal/obs"
@@ -263,11 +265,17 @@ func Detect(c *Computation, s Spec, opts ...Option) (Report, error) {
 	done := tr.Span("detect:" + s.Family.String())
 	var res detect.Result
 	var err error
-	if o.route == StrategyReplay {
-		res, err = detect.Replay(c, s, o.modality, tr)
-	} else {
-		res, err = detect.Batch(c, s, o.modality, detect.Options{Singular: o.strategy, Parallelism: o.parallelism}, tr)
-	}
+	// The kernel runs under a pprof family label, so a CPU profile of a
+	// mixed batch workload attributes its samples per predicate family
+	// (the stream engine adds tenant/shard labels on its own entry
+	// points). Label swap cost is nanoseconds against kernel runtimes.
+	pprof.Do(context.Background(), pprof.Labels("family", s.Family.String()), func(context.Context) {
+		if o.route == StrategyReplay {
+			res, err = detect.Replay(c, s, o.modality, tr)
+		} else {
+			res, err = detect.Batch(c, s, o.modality, detect.Options{Singular: o.strategy, Parallelism: o.parallelism}, tr)
+		}
+	})
 	done()
 	if err != nil {
 		return Report{}, err

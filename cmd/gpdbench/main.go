@@ -265,8 +265,9 @@ func bestIngest(metrics *obs.Registry, events, rounds int) (float64, error) {
 // session per shard, in-order unit-step streams, batched appends,
 // Backpressure policy — and returns events/sec. The instrumented
 // configuration carries the full observability stack: the metrics
-// registry AND the flight recorder, so the committed overhead number
-// reflects what a production server actually pays.
+// registry, the flight recorder, the cost ledger and pprof profile
+// labels, so the committed overhead number reflects what a production
+// server actually pays.
 func ingestOnce(metrics *obs.Registry, events int) (float64, error) {
 	const (
 		procs    = 8
@@ -276,6 +277,8 @@ func ingestOnce(metrics *obs.Registry, events int) (float64, error) {
 	cfg := stream.Config{Shards: 4, QueueLen: 256, BatchSize: 64, Metrics: metrics}
 	if metrics != nil {
 		cfg.Flight = obs.NewFlight(4096)
+		cfg.Ledger = obs.NewLedger()
+		cfg.ProfileLabels = true
 	}
 	eng := stream.NewEngine(cfg)
 	defer eng.Shutdown()

@@ -20,9 +20,18 @@
 // examples/streamclient is a ready-made load generator and correctness
 // checker. The -stats listener serves expvar-style JSON at /debug/vars
 // with per-shard and per-session counters, Prometheus text exposition at
-// /metrics, the flight-recorder ring at /debug/flight (?format=json or
-// ?format=chrome for a Perfetto-loadable trace), and (with -pprof) the
-// net/http/pprof profiling endpoints under /debug/pprof/.
+// /metrics (including runtime self-telemetry under gpd_runtime_*), the
+// cost ledger at /debug/tenants — per-(tenant, family) CPU, detector
+// steps, events and wire bytes, plus the hottest predicates —
+// (?format=text for a table, ?k= for the hot-predicate depth), the
+// flight-recorder ring at /debug/flight (?format=json or ?format=chrome
+// for a Perfetto-loadable trace), and (with -pprof) the net/http/pprof
+// profiling endpoints under /debug/pprof/. With -profile-labels the
+// detector work additionally carries pprof labels (tenant, family,
+// shard), so a CPU profile taken from /debug/pprof/profile attributes
+// samples per tenant; -slo-tenant-cpu-share arms a watchdog rule that
+// fires when one tenant holds more than the given fraction of detector
+// CPU.
 //
 // Logs are structured (log/slog): -log-format selects text or json,
 // -log-level the threshold. The -slo-* flags arm the watchdog: a breach
@@ -42,6 +51,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -80,6 +90,9 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 	sloRegistered := fs.Int("slo-registered", 0, "SLO: max registered predicates engine-wide (0: off)")
 	sloDump := fs.String("slo-dump", "", "file to dump the flight ring to on SLO breach (once per rule)")
 	sloDumpFormat := fs.String("slo-dump-format", "json", "breach dump encoding: json or chrome")
+	sloCPUShare := fs.Float64("slo-tenant-cpu-share", 0, "SLO: max fraction of detector CPU one tenant may hold, 0..1 (0: off)")
+	sloCPUFloor := fs.Duration("slo-tenant-cpu-floor", 0, "ignore tenants below this much total CPU when checking -slo-tenant-cpu-share (0: 100ms default)")
+	profileLabels := fs.Bool("profile-labels", false, "attach pprof labels (tenant, family, shard) to detector work for CPU-profile attribution")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -105,13 +118,16 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 	}
 
 	metrics := obs.NewRegistry()
+	obs.BindRuntimeMetrics(metrics)
+	ledger := obs.NewLedger()
 	var flight *obs.Flight
 	if *flightCap > 0 {
 		flight = obs.NewFlight(*flightCap)
 	}
 	cfg := stream.Config{
 		Shards: *shards, QueueLen: *queue, BatchSize: *batch,
-		Metrics: metrics, Flight: flight,
+		Metrics: metrics, Flight: flight, Ledger: ledger,
+		ProfileLabels:          *profileLabels,
 		MaxPredicatesPerTenant: *maxPreds,
 		SLO: stream.SLOConfig{
 			VerdictLatency:       *sloVerdict,
@@ -119,6 +135,8 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 			MailboxDepth:         *sloMailbox,
 			ShedFrames:           *sloShed,
 			RegisteredPredicates: *sloRegistered,
+			TenantCPUShare:       *sloCPUShare,
+			TenantCPUFloor:       *sloCPUFloor,
 			DumpPath:             *sloDump,
 			DumpFormat:           *sloDumpFormat,
 			OnBreach: func(rule, detail, path string) {
@@ -155,11 +173,12 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 		if err != nil {
 			return fmt.Errorf("stats listen: %w", err)
 		}
-		stats = &http.Server{Handler: statsHandler(eng, metrics, flight, logger, *withPprof)}
+		stats = &http.Server{Handler: statsHandler(eng, metrics, flight, ledger, logger, *withPprof)}
 		go func() { statsErr <- stats.Serve(ln) }()
 		logger.Info("stats", "url", fmt.Sprintf("http://%s/debug/vars", ln.Addr()))
 		logger.Info("metrics", "url", fmt.Sprintf("http://%s/metrics", ln.Addr()))
 		logger.Info("flight", "url", fmt.Sprintf("http://%s/debug/flight", ln.Addr()))
+		logger.Info("tenants", "url", fmt.Sprintf("http://%s/debug/tenants", ln.Addr()))
 	}
 
 	select {
@@ -179,9 +198,10 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) error {
 // statsHandler serves the engine's stats surface: expvar-style JSON at
 // /debug/vars (one top-level map with a "gpdserver" variable holding the
 // snapshot), Prometheus text exposition at /metrics, the flight ring at
-// /debug/flight (?format=json|chrome), and optionally the
-// net/http/pprof endpoints under /debug/pprof/.
-func statsHandler(eng *stream.Engine, metrics *obs.Registry, flight *obs.Flight, logger *slog.Logger, withPprof bool) http.Handler {
+// /debug/flight (?format=json|chrome), the cost ledger at /debug/tenants
+// (?format=json|text, ?k= for the hot-predicate depth), and optionally
+// the net/http/pprof endpoints under /debug/pprof/.
+func statsHandler(eng *stream.Engine, metrics *obs.Registry, flight *obs.Flight, ledger *obs.Ledger, logger *slog.Logger, withPprof bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -210,6 +230,40 @@ func statsHandler(eng *stream.Engine, metrics *obs.Registry, flight *obs.Flight,
 				http.StatusBadRequest)
 		}
 	})
+	mux.HandleFunc("/debug/tenants", func(w http.ResponseWriter, r *http.Request) {
+		k := 10
+		if q := r.URL.Query().Get("k"); q != "" {
+			n, err := strconv.Atoi(q)
+			if err != nil || n < 0 {
+				http.Error(w, fmt.Sprintf("bad k %q (want a non-negative integer)", q),
+					http.StatusBadRequest)
+				return
+			}
+			k = n
+		}
+		led := ledger.Snapshot()
+		view := tenantsView{
+			TotalCPUNanos: led.TotalCPUNanos,
+			Scopes:        led.Scopes,
+			HotPredicates: ledger.HotPredicates(k),
+			Registered:    eng.Snapshot().Tenants,
+		}
+		switch format := r.URL.Query().Get("format"); format {
+		case "", "json":
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(view); err != nil {
+				logger.Warn("/debug/tenants write failed", "err", err)
+			}
+		case "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			writeTenantsText(w, view)
+		default:
+			http.Error(w, fmt.Sprintf("unknown format %q (want json or text)", format),
+				http.StatusBadRequest)
+		}
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
@@ -221,4 +275,35 @@ func statsHandler(eng *stream.Engine, metrics *obs.Registry, flight *obs.Flight,
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return mux
+}
+
+// tenantsView is the /debug/tenants payload: the cost ledger ranked by
+// CPU, the hottest predicates by steps, and the control plane's
+// per-tenant registration counts, joined so one scrape answers "who is
+// expensive and what are they running".
+type tenantsView struct {
+	TotalCPUNanos int64           `json:"total_cpu_nanos"`
+	Scopes        []obs.ScopeCost `json:"scopes"`
+	HotPredicates []obs.PredCost  `json:"hot_predicates,omitempty"`
+	Registered    map[string]int  `json:"registered,omitempty"`
+}
+
+// writeTenantsText renders the ledger as a fixed-width table for humans
+// (curl without jq). Scopes arrive ranked; the share column repeats the
+// JSON cpu_share rounded to a tenth of a percent.
+func writeTenantsText(w io.Writer, v tenantsView) {
+	fmt.Fprintf(w, "total detector CPU: %s\n\n", time.Duration(v.TotalCPUNanos))
+	fmt.Fprintf(w, "%-16s %-12s %10s %7s %12s %10s %10s %10s\n",
+		"TENANT", "FAMILY", "CPU", "SHARE", "STEPS", "EVENTS", "BYTES-IN", "BYTES-OUT")
+	for _, s := range v.Scopes {
+		fmt.Fprintf(w, "%-16s %-12s %10s %6.1f%% %12d %10d %10d %10d\n",
+			s.Tenant, s.Family, time.Duration(s.CPUNanos), 100*s.CPUShare,
+			s.Steps, s.Events, s.BytesIn, s.BytesOut)
+	}
+	if len(v.HotPredicates) > 0 {
+		fmt.Fprintf(w, "\n%-24s %-16s %-12s %12s\n", "PREDICATE", "TENANT", "FAMILY", "STEPS")
+		for _, p := range v.HotPredicates {
+			fmt.Fprintf(w, "%-24s %-16s %-12s %12d\n", p.ID, p.Tenant, p.Family, p.Steps)
+		}
+	}
 }

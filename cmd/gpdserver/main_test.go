@@ -238,6 +238,125 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// TestTenantsEndpoint boots the server with -profile-labels, drives two
+// sessions under distinct tenants, and checks the /debug/tenants views:
+// JSON scopes carry the right per-tenant event counts, the text table
+// renders, the runtime self-telemetry gauges are in /metrics, and bad
+// query parameters get a 400.
+func TestTenantsEndpoint(t *testing.T) {
+	pr, pw := io.Pipe()
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		err := run([]string{"-addr", "127.0.0.1:0", "-stats", "127.0.0.1:0", "-profile-labels"}, pw, stop)
+		pw.CloseWithError(err)
+		done <- err
+	}()
+
+	sc := bufio.NewScanner(pr)
+	var addr, tenantsURL, metricsURL string
+	for addr == "" || tenantsURL == "" || metricsURL == "" {
+		if !sc.Scan() {
+			break
+		}
+		line := sc.Text()
+		if v := slogValue(line, "listening", "addr"); v != "" {
+			addr = v
+		}
+		if v := slogValue(line, "tenants", "url"); v != "" {
+			tenantsURL = v
+		}
+		if v := slogValue(line, "metrics", "url"); v != "" {
+			metricsURL = v
+		}
+	}
+	if addr == "" || tenantsURL == "" || metricsURL == "" {
+		t.Fatalf("startup lines not seen (addr=%q tenants=%q metrics=%q)", addr, tenantsURL, metricsURL)
+	}
+	go io.Copy(io.Discard, pr)
+
+	cl, err := stream.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// acme streams four events, rival two: the ledger must rank and
+	// count them accordingly.
+	if err := cl.Open("a", stream.Spec{Kind: stream.Conjunctive, Procs: 2, Tenant: "acme"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Open("b", stream.Spec{Kind: stream.Conjunctive, Procs: 2, Tenant: "rival"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Append("a", []stream.Event{
+		{Proc: 0, VC: []int64{1, 0}},
+		{Proc: 0, VC: []int64{2, 0}},
+		{Proc: 0, VC: []int64{3, 0}},
+		{Proc: 1, VC: []int64{0, 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Append("b", []stream.Event{
+		{Proc: 0, VC: []int64{1, 0}, Truth: true},
+		{Proc: 1, VC: []int64{0, 1}, Truth: true},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.CloseSession("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.CloseSession("b"); err != nil {
+		t.Fatal(err)
+	}
+
+	var view struct {
+		TotalCPUNanos int64           `json:"total_cpu_nanos"`
+		Scopes        []obs.ScopeCost `json:"scopes"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, tenantsURL)), &view); err != nil {
+		t.Fatalf("/debug/tenants does not parse: %v", err)
+	}
+	events := map[string]int64{}
+	for _, s := range view.Scopes {
+		events[s.Tenant] += s.Events
+	}
+	if events["acme"] != 4 || events["rival"] != 2 {
+		t.Fatalf("per-tenant events: got %v, want acme=4 rival=2", events)
+	}
+	if view.TotalCPUNanos <= 0 {
+		t.Errorf("total CPU not attributed: %d", view.TotalCPUNanos)
+	}
+
+	text := httpGet(t, tenantsURL+"?format=text&k=5")
+	for _, want := range []string{"TENANT", "acme", "rival"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text view missing %q:\n%s", want, text)
+		}
+	}
+	if resp, err := http.Get(tenantsURL + "?k=bogus"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bogus k: status %d, want 400", resp.StatusCode)
+		}
+	}
+
+	if body := httpGet(t, metricsURL); !strings.Contains(body, "gpd_runtime_goroutines") {
+		t.Error("metrics missing runtime self-telemetry (gpd_runtime_goroutines)")
+	}
+
+	stop <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not shut down on signal")
+	}
+}
+
 // TestSLOBreachLoggedAndDumped arms a 1ns verdict-latency budget, runs
 // one detecting session, and checks the warn log names the rule and
 // dump path, the dump file appears, and the breach counter is exported.

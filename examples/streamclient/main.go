@@ -14,16 +14,24 @@
 // close-time per-predicate fan-out checked against the same offline
 // oracles.
 //
-//	gpdserver -addr 127.0.0.1:7400        # terminal 1
-//	go run ./examples/streamclient -addr 127.0.0.1:7400 -sessions 8 -predicates 32
+// With -debug pointing at the server's stats listener, the client ends
+// the run by scraping /debug/tenants, printing the per-tenant cost
+// summary, and failing unless every tenant it drove shows up in the
+// ledger with nonzero detector steps.
+//
+//	gpdserver -addr 127.0.0.1:7400 -stats 127.0.0.1:7401   # terminal 1
+//	go run ./examples/streamclient -addr 127.0.0.1:7400 -sessions 8 -predicates 32 -debug http://127.0.0.1:7401
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"net/http"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -46,14 +54,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "base random seed")
 	predicates := flag.Int("predicates", 0, "also drive one multiplexed session with this many predicates (0: skip)")
 	wait := flag.Duration("wait", 5*time.Second, "how long to retry the first dial")
+	debug := flag.String("debug", "", "gpdserver stats base URL (e.g. http://127.0.0.1:7401): after the run, scrape /debug/tenants and assert every driven tenant was cost-attributed")
 	flag.Parse()
 
-	if err := run(*addr, *sessions, *procs, *events, *seed, *predicates, *wait); err != nil {
+	if err := run(*addr, *sessions, *procs, *events, *seed, *predicates, *wait, *debug); err != nil {
 		log.Fatal("streamclient: ", err)
 	}
 }
 
-func run(addr string, sessions, procs, events int, seed int64, predicates int, wait time.Duration) error {
+func run(addr string, sessions, procs, events int, seed int64, predicates int, wait time.Duration, debug string) error {
 	// Retry the first dial so the client can be launched alongside the
 	// server (CI starts both in one step).
 	deadline := time.Now().Add(wait)
@@ -96,6 +105,80 @@ func run(addr string, sessions, procs, events int, seed int64, predicates int, w
 			return fmt.Errorf("multiplexed session: %w", err)
 		}
 		fmt.Printf("streamclient: %d multiplexed predicates verified against offline oracles\n", predicates)
+	}
+	if debug != "" {
+		if err := checkTenants(debug, predicates); err != nil {
+			return fmt.Errorf("cost attribution: %w", err)
+		}
+	}
+	return nil
+}
+
+// checkTenants scrapes /debug/tenants off the server's stats listener and
+// asserts the cost ledger attributed detector steps to every tenant this
+// run drove: "default" (the plain sessions carry no tenant) and, when a
+// multiplexed session ran, tenant-0..tenant-3 (driveMux rotates
+// registrations through four tenants). Prints the per-tenant totals as a
+// summary.
+func checkTenants(base string, predicates int) error {
+	resp, err := http.Get(base + "/debug/tenants")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var view struct {
+		TotalCPUNanos int64 `json:"total_cpu_nanos"`
+		Scopes        []struct {
+			Tenant   string `json:"tenant"`
+			CPUNanos int64  `json:"cpu_nanos"`
+			Steps    int64  `json:"steps"`
+			Events   int64  `json:"events"`
+			BytesIn  int64  `json:"bytes_in"`
+			BytesOut int64  `json:"bytes_out"`
+		} `json:"scopes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return fmt.Errorf("decoding /debug/tenants: %w", err)
+	}
+	type total struct{ cpu, steps, events, bytesIn, bytesOut int64 }
+	totals := map[string]*total{}
+	for _, s := range view.Scopes {
+		t := totals[s.Tenant]
+		if t == nil {
+			t = &total{}
+			totals[s.Tenant] = t
+		}
+		t.cpu += s.CPUNanos
+		t.steps += s.Steps
+		t.events += s.Events
+		t.bytesIn += s.BytesIn
+		t.bytesOut += s.BytesOut
+	}
+	tenants := make([]string, 0, len(totals))
+	for name := range totals {
+		tenants = append(tenants, name)
+	}
+	sort.Strings(tenants)
+	fmt.Printf("streamclient: per-tenant cost attribution (total CPU %s)\n", time.Duration(view.TotalCPUNanos))
+	for _, name := range tenants {
+		t := totals[name]
+		fmt.Printf("  %-12s cpu=%-12s steps=%-8d events=%-6d bytes=%d/%d\n",
+			name, time.Duration(t.cpu), t.steps, t.events, t.bytesIn, t.bytesOut)
+	}
+	want := []string{"default"}
+	if predicates > 0 {
+		for i := 0; i < 4 && i < predicates; i++ {
+			want = append(want, fmt.Sprintf("tenant-%d", i))
+		}
+	}
+	for _, name := range want {
+		t := totals[name]
+		if t == nil {
+			return fmt.Errorf("tenant %q drove load but is missing from the ledger", name)
+		}
+		if t.steps == 0 {
+			return fmt.Errorf("tenant %q drove load but has zero attributed detector steps", name)
+		}
 	}
 	return nil
 }

@@ -12,7 +12,9 @@ import (
 // are enabled.
 var obsHandles = map[string]bool{
 	"Counter": true, "Gauge": true, "Histogram": true,
+	"CounterVec": true, "GaugeVec": true, "HistogramVec": true,
 	"Registry": true, "Trace": true, "Span": true, "Flight": true,
+	"Ledger": true, "Scope": true,
 }
 
 // AnalyzerObsNil enforces the nil-safe usage discipline of obs handles
@@ -129,13 +131,33 @@ func checkRedundantGuard(pass *Pass, stmt *ast.IfStmt) {
 		if !ok {
 			return
 		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok || types.ExprString(sel.X) != want {
+		// Walk chained calls (v.With("t").Inc(), l.Scope(t, f).AddSteps(n))
+		// down to the root receiver: every hop stays on nil-safe handles,
+		// so the chain is as guarded as a direct method call.
+		if chainRoot(call) != want {
 			return
 		}
 	}
 	pass.Reportf(stmt.Pos(),
 		"redundant nil guard: methods on obs handle %s are nil-safe no-ops", want)
+}
+
+// chainRoot unwinds a method-call chain to its receiver expression and
+// returns its printed form: "v" for v.With("t").Inc(), "s.flight" for
+// s.flight.Record(...). Returns "" when e is not a selector-rooted call.
+func chainRoot(e ast.Expr) string {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if inner, ok := sel.X.(*ast.CallExpr); ok {
+		return chainRoot(inner)
+	}
+	return types.ExprString(sel.X)
 }
 
 // isNil reports whether e is the predeclared nil.

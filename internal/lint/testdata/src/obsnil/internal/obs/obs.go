@@ -53,6 +53,51 @@ func (f *Flight) NextSeq() int {
 	return f.N
 }
 
+// CounterVec is a nil-safe labeled counter family.
+type CounterVec struct{ M map[string]*Counter }
+
+// With returns the series for the label values, nil-safely.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	key := ""
+	for _, val := range values {
+		key += val + "\x1f"
+	}
+	c, ok := v.M[key]
+	if !ok {
+		c = &Counter{}
+		if v.M == nil {
+			v.M = make(map[string]*Counter)
+		}
+		v.M[key] = c
+	}
+	return c
+}
+
+// Ledger attributes cost to scopes, nil-safely.
+type Ledger struct{ CPU int64 }
+
+// Scope interns an attribution scope.
+func (l *Ledger) Scope(tenant, family string) *Scope {
+	if l == nil {
+		return nil
+	}
+	return &Scope{}
+}
+
+// Scope is one (tenant, family) attribution bucket.
+type Scope struct{ Steps int64 }
+
+// AddSteps charges detector steps to the scope.
+func (s *Scope) AddSteps(n int64) {
+	if s == nil {
+		return
+	}
+	s.Steps += n
+}
+
 // Registry interns named metrics.
 type Registry struct{ counters map[string]*Counter }
 

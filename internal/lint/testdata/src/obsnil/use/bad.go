@@ -21,3 +21,27 @@ func BadFlight(f *obs.Flight) int {
 	}
 	return n
 }
+
+// BadVec exercises the misuses against a labeled vector and its series.
+func BadVec(v *obs.CounterVec) {
+	m := v.M // want `field access on obs handle v`
+	_ = m
+	if v != nil { // want `redundant nil guard`
+		v.With("acme").Inc()
+	}
+	vv := *v // want `dereference of obs handle v`
+	_ = vv
+}
+
+// BadLedger exercises the misuses against the cost ledger and scopes.
+func BadLedger(l *obs.Ledger, s *obs.Scope) int64 {
+	cpu := l.CPU  // want `field access on obs handle l`
+	if l != nil { // want `redundant nil guard`
+		l.Scope("acme", "sum").AddSteps(1)
+	}
+	steps := s.Steps // want `field access on obs handle s`
+	if s != nil {    // want `redundant nil guard`
+		s.AddSteps(2)
+	}
+	return cpu + steps
+}

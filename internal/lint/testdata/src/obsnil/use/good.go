@@ -26,3 +26,18 @@ func GoodFlight(f *obs.Flight) {
 		f.Record("delivered")
 	}
 }
+
+// GoodVec goes through With unconditionally: the vector and the series
+// it returns are both nil-safe.
+func GoodVec(v *obs.CounterVec) {
+	v.With("acme").Inc()
+	series := v.With("rival")
+	series.Inc()
+}
+
+// GoodLedger charges scopes through nil-safe methods only.
+func GoodLedger(l *obs.Ledger) {
+	scope := l.Scope("acme", "sum")
+	scope.AddSteps(3)
+	l.Scope("rival", "xor").AddSteps(1)
+}

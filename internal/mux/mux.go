@@ -73,6 +73,9 @@ type predicate struct {
 	active   bool // still stepped; false once latched (routed), failed, or unregistered
 	dirty    bool // stepped since the last flush
 	window   int  // detector window as of the last flush
+
+	steps     int64 // detector steps attempted over the predicate's lifetime
+	costSteps int64 // steps already reported through the cost hook
 }
 
 // varState is the last delivered value of one variable per process,
@@ -95,6 +98,7 @@ type Group struct {
 	lastVC    [][]int64 // raw timestamp of the last delivered event per process
 
 	preds  map[string]*predicate
+	onCost func(tenant, family, id string, steps int64)
 	byVar  map[string][]*predicate // active var-routed predicates
 	all    []*predicate            // active all-events predicates
 	projs  map[string]*projector   // one per subscribed variable
@@ -327,6 +331,15 @@ func (g *Group) Step(ev detect.Event) error {
 // close-time finalizers.
 func (g *Group) OnDeliver(fn func(detect.Event)) { g.onDeliver = fn }
 
+// OnCost installs a hook invoked at every Flush with each stepped
+// predicate's step delta since its last report, keyed by tenant, family
+// and predicate id. Batched per flush, so the per-event routing path
+// pays nothing; the hook runs on the group's goroutine and must be
+// cheap. The stream engine uses it to feed the cost ledger; mux itself
+// stays metrics-free (the plain signature keeps the layering rule that
+// mux imports no observability machinery).
+func (g *Group) OnCost(fn func(tenant, family, id string, steps int64)) { g.onCost = fn }
+
 // deliver routes one causally delivered event.
 func (g *Group) deliver(ev detect.Event) {
 	g.lastVC[ev.Proc] = ev.VC
@@ -361,6 +374,7 @@ func (g *Group) deliver(ev detect.Event) {
 
 // stepPred feeds one event to one predicate's detector.
 func (g *Group) stepPred(p *predicate, ev detect.Event) {
+	p.steps++
 	if err := p.det.Step(ev); err != nil {
 		g.failPred(p, err)
 		return
@@ -394,6 +408,14 @@ func (g *Group) recordVar(ev detect.Event) {
 func (g *Group) Flush() bool {
 	g.flushes++
 	for _, p := range g.dirty {
+		if g.onCost != nil {
+			// Report before the active check so a predicate that latched
+			// or failed mid-batch still accounts its final steps.
+			if d := p.steps - p.costSteps; d > 0 {
+				p.costSteps = p.steps
+				g.onCost(p.tenant, p.spec.Family.String(), p.id, d)
+			}
+		}
 		if !p.active {
 			continue // latched or failed while this flush list was built
 		}

@@ -1,0 +1,333 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultMaxScopes bounds the number of (tenant, family) scopes a
+// ledger interns; extra scopes share the "other"/"other" overflow
+// scope, mirroring the vector cardinality cap.
+const DefaultMaxScopes = 256
+
+// DefaultMaxHotPredicates bounds the per-predicate step table; extra
+// predicates aggregate into a synthetic "other" row.
+const DefaultMaxHotPredicates = 512
+
+// ScopeKey identifies a cost-attribution scope: which tenant, which
+// predicate family.
+type ScopeKey struct {
+	Tenant string
+	Family string
+}
+
+// Scope accumulates attributed cost for one (tenant, family) pair. All
+// fields are atomics, so the serving path records without locking; all
+// methods are no-ops on a nil receiver, matching the obs handle
+// discipline — instrumented code never branches on whether the ledger
+// is enabled.
+type Scope struct {
+	led *Ledger
+	key ScopeKey
+
+	cpu      atomic.Int64
+	steps    atomic.Int64
+	events   atomic.Int64
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
+}
+
+// AddCPU charges ns nanoseconds of CPU-adjacent wall time measured on
+// the goroutine doing this scope's work (the stream engine times each
+// batch's detector work per session). Also feeds the ledger-wide total
+// that CPU shares are computed against.
+func (s *Scope) AddCPU(ns int64) {
+	if s == nil || ns <= 0 {
+		return
+	}
+	s.cpu.Add(ns)
+	s.led.total.Add(ns)
+}
+
+// AddSteps charges detector steps.
+func (s *Scope) AddSteps(n int64) {
+	if s == nil || n <= 0 {
+		return
+	}
+	s.steps.Add(n)
+}
+
+// AddEvents charges delivered events.
+func (s *Scope) AddEvents(n int64) {
+	if s == nil || n <= 0 {
+		return
+	}
+	s.events.Add(n)
+}
+
+// AddBytes charges wire bytes read from and written to this scope's
+// clients.
+func (s *Scope) AddBytes(in, out int64) {
+	if s == nil {
+		return
+	}
+	if in > 0 {
+		s.bytesIn.Add(in)
+	}
+	if out > 0 {
+		s.bytesOut.Add(out)
+	}
+}
+
+// predKey identifies one registered predicate in the hot table. A plain
+// struct key keeps the hit-path lookup allocation-free.
+type predKey struct {
+	id     string
+	tenant string
+	family string
+}
+
+type predCost struct {
+	steps int64
+}
+
+// Ledger attributes serving cost — CPU time, detector steps, events and
+// wire bytes — to (tenant, family) scopes, plus a bounded per-predicate
+// step table for the top-K hot-predicates view. Scope handles are
+// interned once (at session open) and then recorded to via atomics; the
+// per-event record path takes one mutex and does no allocation on the
+// hit path. All methods are nil-safe.
+type Ledger struct {
+	total atomic.Int64 // CPU nanos across all scopes
+
+	mu     sync.Mutex
+	scopes map[ScopeKey]*Scope
+	limit  int
+	other  *Scope
+
+	pmu    sync.Mutex
+	preds  map[predKey]*predCost
+	plimit int
+	pother int64 // steps aggregated past the predicate cap
+}
+
+// NewLedger returns an empty ledger with the default cardinality caps.
+func NewLedger() *Ledger {
+	return &Ledger{
+		scopes: make(map[ScopeKey]*Scope),
+		limit:  DefaultMaxScopes,
+		preds:  make(map[predKey]*predCost),
+		plimit: DefaultMaxHotPredicates,
+	}
+}
+
+// SetScopeLimit overrides the scope cap (default DefaultMaxScopes).
+// Call before the ledger is populated; shrinking does not evict.
+func (l *Ledger) SetScopeLimit(n int) {
+	if l == nil || n <= 0 {
+		return
+	}
+	l.mu.Lock()
+	l.limit = n
+	l.mu.Unlock()
+}
+
+// SetPredicateLimit overrides the hot-predicate table cap (default
+// DefaultMaxHotPredicates).
+func (l *Ledger) SetPredicateLimit(n int) {
+	if l == nil || n <= 0 {
+		return
+	}
+	l.pmu.Lock()
+	l.plimit = n
+	l.pmu.Unlock()
+}
+
+// Scope interns and returns the scope for (tenant, family). Past the
+// cap, unknown pairs share the "other"/"other" overflow scope so totals
+// stay conserved. Nil-safe: a nil ledger returns a nil (no-op) scope.
+func (l *Ledger) Scope(tenant, family string) *Scope {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	k := ScopeKey{Tenant: tenant, Family: family}
+	if s, ok := l.scopes[k]; ok {
+		return s
+	}
+	if len(l.scopes) >= l.limit {
+		if l.other == nil {
+			l.other = &Scope{led: l, key: ScopeKey{Tenant: overflowValue, Family: overflowValue}}
+		}
+		return l.other
+	}
+	s := &Scope{led: l, key: k}
+	l.scopes[k] = s
+	return s
+}
+
+// RecordPredicate charges steps to one registered predicate's row in
+// the hot table, keyed by (id, tenant, family). This is the per-event
+// record path of the mux fan-out, so the hit path is one mutex and a
+// struct-keyed map lookup with no allocation.
+//
+//lint:hotpath
+func (l *Ledger) RecordPredicate(id, tenant, family string, steps int64) {
+	if l == nil || steps <= 0 {
+		return
+	}
+	k := predKey{id: id, tenant: tenant, family: family}
+	l.pmu.Lock()
+	if p, ok := l.preds[k]; ok {
+		p.steps += steps
+	} else if len(l.preds) < l.plimit {
+		l.internPred(k, steps)
+	} else {
+		l.pother += steps
+	}
+	l.pmu.Unlock()
+}
+
+// internPred creates a hot-table row; first sight of a predicate only,
+// so the allocation is off the per-event path.
+//
+//lint:coldpath
+func (l *Ledger) internPred(k predKey, steps int64) {
+	l.preds[k] = &predCost{steps: steps}
+}
+
+// TotalCPUNanos returns the CPU nanoseconds attributed across every
+// scope (including overflow).
+func (l *Ledger) TotalCPUNanos() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.total.Load()
+}
+
+// TenantCPUNanos sums the CPU attributed to one tenant across its
+// family scopes. Overflow cost is never attributed to a named tenant.
+func (l *Ledger) TenantCPUNanos(tenant string) int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var sum int64
+	for k, s := range l.scopes {
+		if k.Tenant == tenant {
+			sum += s.cpu.Load()
+		}
+	}
+	return sum
+}
+
+// ScopeCost is one scope's row in a ledger snapshot.
+type ScopeCost struct {
+	Tenant   string  `json:"tenant"`
+	Family   string  `json:"family"`
+	CPUNanos int64   `json:"cpu_nanos"`
+	CPUShare float64 `json:"cpu_share"` // fraction of the ledger-wide CPU total
+	Steps    int64   `json:"steps"`
+	Events   int64   `json:"events"`
+	BytesIn  int64   `json:"bytes_in"`
+	BytesOut int64   `json:"bytes_out"`
+}
+
+// LedgerSnapshot is a point-in-time cost report, scopes ranked by
+// attributed CPU, then steps, then (tenant, family) for determinism.
+type LedgerSnapshot struct {
+	TotalCPUNanos int64       `json:"total_cpu_nanos"`
+	Scopes        []ScopeCost `json:"scopes"`
+}
+
+// Snapshot copies every scope. Concurrent recording may land between
+// field reads; each field is individually exact.
+func (l *Ledger) Snapshot() LedgerSnapshot {
+	if l == nil {
+		return LedgerSnapshot{}
+	}
+	l.mu.Lock()
+	scopes := make([]*Scope, 0, len(l.scopes)+1)
+	for _, s := range l.scopes {
+		//lint:ignore maporder the rendered ScopeCost slice built from this staging copy is sorted below before it escapes
+		scopes = append(scopes, s)
+	}
+	if l.other != nil {
+		scopes = append(scopes, l.other)
+	}
+	l.mu.Unlock()
+
+	snap := LedgerSnapshot{TotalCPUNanos: l.total.Load(), Scopes: make([]ScopeCost, 0, len(scopes))}
+	for _, s := range scopes {
+		c := ScopeCost{
+			Tenant:   s.key.Tenant,
+			Family:   s.key.Family,
+			CPUNanos: s.cpu.Load(),
+			Steps:    s.steps.Load(),
+			Events:   s.events.Load(),
+			BytesIn:  s.bytesIn.Load(),
+			BytesOut: s.bytesOut.Load(),
+		}
+		if snap.TotalCPUNanos > 0 {
+			c.CPUShare = float64(c.CPUNanos) / float64(snap.TotalCPUNanos)
+		}
+		snap.Scopes = append(snap.Scopes, c)
+	}
+	sort.Slice(snap.Scopes, func(i, j int) bool {
+		a, b := snap.Scopes[i], snap.Scopes[j]
+		if a.CPUNanos != b.CPUNanos {
+			return a.CPUNanos > b.CPUNanos
+		}
+		if a.Steps != b.Steps {
+			return a.Steps > b.Steps
+		}
+		if a.Tenant != b.Tenant {
+			return a.Tenant < b.Tenant
+		}
+		return a.Family < b.Family
+	})
+	return snap
+}
+
+// PredCost is one predicate's row in the hot-predicates view.
+type PredCost struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant"`
+	Family string `json:"family"`
+	Steps  int64  `json:"steps"`
+}
+
+// HotPredicates returns the top-k predicates by attributed detector
+// steps (ties broken by tenant then id, descending steps first). The
+// aggregated past-cap remainder appears as a synthetic "other" row when
+// nonzero.
+func (l *Ledger) HotPredicates(k int) []PredCost {
+	if l == nil || k <= 0 {
+		return nil
+	}
+	l.pmu.Lock()
+	out := make([]PredCost, 0, len(l.preds)+1)
+	for pk, p := range l.preds {
+		out = append(out, PredCost{ID: pk.id, Tenant: pk.tenant, Family: pk.family, Steps: p.steps})
+	}
+	if l.pother > 0 {
+		out = append(out, PredCost{ID: overflowValue, Tenant: overflowValue, Family: overflowValue, Steps: l.pother})
+	}
+	l.pmu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Steps != out[j].Steps {
+			return out[i].Steps > out[j].Steps
+		}
+		if out[i].Tenant != out[j].Tenant {
+			return out[i].Tenant < out[j].Tenant
+		}
+		return out[i].ID < out[j].ID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -152,6 +152,12 @@ type Registry struct {
 	ctrs  map[string]*Counter
 	gaugs map[string]*Gauge
 	hists map[string]*Histogram
+	cvecs map[string]*CounterVec
+	gvecs map[string]*GaugeVec
+	hvecs map[string]*HistogramVec
+
+	smu      sync.Mutex
+	samplers []func()
 }
 
 // NewRegistry returns an empty registry.
@@ -160,6 +166,34 @@ func NewRegistry() *Registry {
 		ctrs:  make(map[string]*Counter),
 		gaugs: make(map[string]*Gauge),
 		hists: make(map[string]*Histogram),
+		cvecs: make(map[string]*CounterVec),
+		gvecs: make(map[string]*GaugeVec),
+		hvecs: make(map[string]*HistogramVec),
+	}
+}
+
+// AddSampler registers a scrape-time hook: every Snapshot (and therefore
+// every Prometheus exposition) calls the sampler first, so gauges whose
+// source is pull-based — runtime memory stats, queue depths owned by
+// another subsystem — are fresh at scrape time without a background
+// goroutine. Samplers run outside the registry lock and may set metrics;
+// they must not call Snapshot themselves. Nil-safe.
+func (r *Registry) AddSampler(fn func()) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.smu.Lock()
+	r.samplers = append(r.samplers, fn)
+	r.smu.Unlock()
+}
+
+// sample runs the registered scrape-time samplers.
+func (r *Registry) sample() {
+	r.smu.Lock()
+	fns := r.samplers
+	r.smu.Unlock()
+	for _, fn := range fns {
+		fn()
 	}
 }
 
@@ -217,7 +251,10 @@ type RegistrySnapshot struct {
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
-// Snapshot copies every metric.
+// Snapshot copies every metric. Vector series fold in under their
+// rendered exposition names (`name{k="v"}`), so consumers of the
+// snapshot — /debug/vars JSON and the Prometheus writer — see labeled
+// series without knowing about vectors.
 func (r *Registry) Snapshot() RegistrySnapshot {
 	snap := RegistrySnapshot{
 		Counters:   map[string]int64{},
@@ -227,6 +264,7 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 	if r == nil {
 		return snap
 	}
+	r.sample()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for name, c := range r.ctrs {
@@ -237,6 +275,15 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 	}
 	for name, h := range r.hists {
 		snap.Histograms[name] = h.Snapshot()
+	}
+	for _, v := range r.cvecs {
+		v.fold(snap.Counters)
+	}
+	for _, v := range r.gvecs {
+		v.fold(snap.Gauges)
+	}
+	for _, v := range r.hvecs {
+		v.fold(snap.Histograms)
 	}
 	return snap
 }

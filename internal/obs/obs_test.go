@@ -155,8 +155,9 @@ func TestTraceOpenSpans(t *testing.T) {
 func TestWritePrometheus(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("events_total").Add(42)
-	r.Counter(Label("shard_events_total", "shard", "0")).Add(7)
-	r.Counter(Label("shard_events_total", "shard", "1")).Add(9)
+	shardEvents := r.CounterVec("shard_events_total", "shard")
+	shardEvents.With("0").Add(7)
+	shardEvents.With("1").Add(9)
 	r.Gauge("sessions_open").Set(3)
 	h := r.Histogram("holdback_depth", 1, 8)
 	h.Observe(0)

@@ -7,31 +7,6 @@ import (
 	"strings"
 )
 
-// Label renders a labeled metric name, e.g. Label("events_total",
-// "shard", "3") -> `events_total{shard="3"}`. Labeled variants of one base
-// name share a TYPE line in the Prometheus exposition. Values are escaped
-// per the exposition rules, so session ids and file paths are safe label
-// values.
-func Label(name string, kv ...string) string {
-	if len(kv) == 0 {
-		return name
-	}
-	var b strings.Builder
-	b.WriteString(name)
-	b.WriteByte('{')
-	for i := 0; i+1 < len(kv); i += 2 {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(kv[i])
-		b.WriteString(`="`)
-		b.WriteString(escapeLabelValue(kv[i+1]))
-		b.WriteByte('"')
-	}
-	b.WriteByte('}')
-	return b.String()
-}
-
 // escapeLabelValue escapes a label value per the Prometheus text
 // exposition format (0.0.4): backslash, double quote and newline only.
 // Go's %q escaping diverges — it would also escape tabs, control bytes

@@ -35,8 +35,9 @@ func TestWritePrometheusEscaping(t *testing.T) {
 them`,
 	}
 	r := NewRegistry()
+	vec := r.CounterVec("hostile_total", "v")
 	for i, v := range hostile {
-		r.Counter(Label("hostile_total", "v", v)).Add(int64(i + 1))
+		vec.With(v).Add(int64(i + 1))
 	}
 	var b strings.Builder
 	if err := r.WritePrometheus(&b, "gpd"); err != nil {

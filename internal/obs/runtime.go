@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+)
+
+// runtimeScalars maps runtime/metrics scalar samples to registry gauge
+// names. Cumulative runtime values (GC cycles, total allocations) stay
+// gauges: the registry's counter type is for values this process owns
+// and increments, not for mirroring an external monotone source.
+var runtimeScalars = []struct {
+	sample string
+	gauge  string
+}{
+	{"/memory/classes/heap/objects:bytes", "runtime_heap_live_bytes"},
+	{"/gc/heap/objects:objects", "runtime_heap_objects"},
+	{"/gc/heap/allocs:bytes", "runtime_alloc_bytes_total"},
+	{"/sched/goroutines:goroutines", "runtime_goroutines"},
+	{"/gc/cycles/total:gc-cycles", "runtime_gc_cycles"},
+}
+
+// runtimeHists maps runtime/metrics duration histograms (seconds) to
+// p50/p99/max gauge names in nanoseconds.
+var runtimeHists = []struct {
+	sample         string
+	p50, p99, maxG string
+}{
+	{"/gc/pauses:seconds", "runtime_gc_pause_p50_nanos", "runtime_gc_pause_p99_nanos", "runtime_gc_pause_max_nanos"},
+	{"/sched/latencies:seconds", "runtime_sched_latency_p50_nanos", "runtime_sched_latency_p99_nanos", "runtime_sched_latency_max_nanos"},
+}
+
+// BindRuntimeMetrics registers a scrape-time sampler that mirrors
+// process self-telemetry — heap size and object count, goroutine count,
+// GC cycles and pause percentiles, scheduler latency percentiles — into
+// the registry as runtime_* gauges. Sampling happens at snapshot time
+// (one metrics.Read per scrape), so an idle process pays nothing and a
+// scraped one pays microseconds. Nil-safe.
+func BindRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	s := &runtimeSampler{r: r}
+	for _, m := range runtimeScalars {
+		s.samples = append(s.samples, metrics.Sample{Name: m.sample})
+	}
+	for _, m := range runtimeHists {
+		s.samples = append(s.samples, metrics.Sample{Name: m.sample})
+	}
+	r.AddSampler(s.sample)
+}
+
+type runtimeSampler struct {
+	r       *Registry
+	mu      sync.Mutex // metrics.Read reuses the sample slice
+	samples []metrics.Sample
+}
+
+func (s *runtimeSampler) sample() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	metrics.Read(s.samples)
+	for i, m := range runtimeScalars {
+		v := s.samples[i].Value
+		if v.Kind() == metrics.KindUint64 {
+			s.r.Gauge(m.gauge).Set(int64(v.Uint64()))
+		}
+	}
+	for i, m := range runtimeHists {
+		v := s.samples[len(runtimeScalars)+i].Value
+		if v.Kind() != metrics.KindFloat64Histogram {
+			continue
+		}
+		p50, p99, max := histQuantiles(v.Float64Histogram())
+		s.r.Gauge(m.p50).Set(int64(p50 * 1e9))
+		s.r.Gauge(m.p99).Set(int64(p99 * 1e9))
+		s.r.Gauge(m.maxG).Set(int64(max * 1e9))
+	}
+}
+
+// histQuantiles extracts the 50th and 99th percentile and the maximum
+// populated bucket bound from a runtime Float64Histogram. Buckets span
+// [Buckets[i], Buckets[i+1]); a quantile reports its bucket's upper
+// bound (the lower bound for the +Inf tail), a conservative estimate
+// that is monotone in the true quantile.
+func histQuantiles(h *metrics.Float64Histogram) (p50, p99, max float64) {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0, 0, 0
+	}
+	bound := func(i int) float64 {
+		hi := h.Buckets[i+1]
+		if math.IsInf(hi, 1) { // +Inf tail: fall back to the finite lower bound
+			return h.Buckets[i]
+		}
+		return hi
+	}
+	q := func(frac float64) float64 {
+		target := uint64(frac * float64(total))
+		if target == 0 {
+			target = 1
+		}
+		var cum uint64
+		for i, c := range h.Counts {
+			cum += c
+			if cum >= target {
+				return bound(i)
+			}
+		}
+		return bound(len(h.Counts) - 1)
+	}
+	for i := len(h.Counts) - 1; i >= 0; i-- {
+		if h.Counts[i] > 0 {
+			max = bound(i)
+			break
+		}
+	}
+	return q(0.50), q(0.99), max
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"strings"
+	"testing"
+)
+
+// TestBindRuntimeMetrics checks the self-telemetry bridge samples at
+// scrape time: after a forced GC, heap and goroutine gauges are live
+// and the Prometheus exposition carries the runtime_* family.
+func TestBindRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	BindRuntimeMetrics(r)
+	runtime.GC()
+
+	snap := r.Snapshot()
+	if v := snap.Gauges["runtime_goroutines"]; v < 1 {
+		t.Errorf("runtime_goroutines = %d, want >= 1", v)
+	}
+	if v := snap.Gauges["runtime_heap_live_bytes"]; v <= 0 {
+		t.Errorf("runtime_heap_live_bytes = %d, want > 0", v)
+	}
+	if v := snap.Gauges["runtime_gc_cycles"]; v < 1 {
+		t.Errorf("runtime_gc_cycles = %d, want >= 1 after runtime.GC", v)
+	}
+	for _, name := range []string{
+		"runtime_gc_pause_p50_nanos", "runtime_gc_pause_p99_nanos", "runtime_gc_pause_max_nanos",
+		"runtime_sched_latency_p50_nanos", "runtime_sched_latency_p99_nanos",
+	} {
+		if _, ok := snap.Gauges[name]; !ok {
+			t.Errorf("gauge %s missing from snapshot", name)
+		}
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b, "gpd"); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# TYPE gpd_runtime_goroutines gauge", "gpd_runtime_heap_live_bytes"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// A second snapshot re-samples: spawning goroutines must be visible.
+	done := make(chan struct{})
+	stop := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() { <-stop; done <- struct{}{} }()
+	}
+	after := r.Snapshot().Gauges["runtime_goroutines"]
+	close(stop)
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if after < snap.Gauges["runtime_goroutines"]+8 {
+		t.Errorf("goroutine gauge did not re-sample: %d then %d", snap.Gauges["runtime_goroutines"], after)
+	}
+}
+
+// TestBindRuntimeMetricsNil checks nil-safety of the bridge.
+func TestBindRuntimeMetricsNil(t *testing.T) {
+	var r *Registry
+	BindRuntimeMetrics(r) // must not panic
+	r.AddSampler(func() {})
+}
+
+// TestHistQuantiles exercises the quantile extraction on a hand-built
+// histogram shaped like runtime/metrics output (+Inf tail).
+func TestHistQuantiles(t *testing.T) {
+	// Buckets: (-Inf..1), [1..2), [2..4), [4..+Inf)
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{0, 50, 49, 1},
+		Buckets: []float64{math.Inf(-1), 1, 2, 4, math.Inf(1)},
+	}
+	p50, p99, max := histQuantiles(h)
+	if p50 != 2 {
+		t.Errorf("p50 = %v, want 2 (upper bound of the median bucket)", p50)
+	}
+	if p99 != 4 {
+		t.Errorf("p99 = %v, want 4", p99)
+	}
+	if max != 4 { // +Inf tail falls back to finite lower bound
+		t.Errorf("max = %v, want 4", max)
+	}
+	empty := &metrics.Float64Histogram{Counts: []uint64{0}, Buckets: []float64{0, math.Inf(1)}}
+	if a, b, c := histQuantiles(empty); a != 0 || b != 0 || c != 0 {
+		t.Errorf("empty histogram quantiles = %v %v %v, want zeros", a, b, c)
+	}
+}

@@ -1,0 +1,318 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+)
+
+// DefaultMaxSeries bounds the number of distinct label-value series a
+// vector will materialize. The cap exists because label values on the
+// serving path come from the wire (tenant names, session ids): an
+// unbounded vector is a memory-growth and scrape-size vulnerability. A
+// With call past the cap lands on the vector's overflow series, whose
+// every label value is the literal "other", so totals stay conserved
+// and the scrape stays bounded no matter how hostile the input.
+const DefaultMaxSeries = 256
+
+// overflowValue is the label value of every key on an overflow series.
+const overflowValue = "other"
+
+// seriesKeySep joins label values into a map key. 0x1f (ASCII unit
+// separator) cannot appear in sane label values; a value that does
+// contain it still round-trips in the exposition because rendering
+// escapes independently of this key.
+const seriesKeySep = "\x1f"
+
+// vecCore carries the shape shared by the three vector kinds: the base
+// name, the ordered label keys, and the series cap. It does not hold
+// the series map (each kind keeps a typed map so With returns concrete
+// handles with zero interface indirection on the hot path).
+type vecCore struct {
+	name  string
+	keys  []string
+	limit int
+}
+
+func newVecCore(name string, keys []string) vecCore {
+	return vecCore{name: name, keys: append([]string(nil), keys...), limit: DefaultMaxSeries}
+}
+
+// seriesKey joins values for map lookup; arity mismatches return false
+// and route the caller to the overflow series — a misuse must not mint
+// series under a wrong schema.
+func (c *vecCore) seriesKey(values []string) (string, bool) {
+	if len(values) != len(c.keys) {
+		return "", false
+	}
+	if len(values) == 1 {
+		return values[0], true
+	}
+	return strings.Join(values, seriesKeySep), true
+}
+
+// rendered returns the exposition name for a concrete series, e.g.
+// name{tenant="a",shard="0"} with values escaped.
+func (c *vecCore) rendered(values []string) string {
+	var b strings.Builder
+	b.WriteString(c.name)
+	b.WriteByte('{')
+	for i, k := range c.keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (c *vecCore) renderedOverflow() string {
+	vals := make([]string, len(c.keys))
+	for i := range vals {
+		vals[i] = overflowValue
+	}
+	return c.rendered(vals)
+}
+
+// CounterVec is a family of counters sharing one name and label schema.
+// With interns a series per label-value tuple up to the cardinality cap;
+// past the cap every new tuple shares the "other" overflow series. All
+// methods are no-ops on a nil receiver.
+type CounterVec struct {
+	core     vecCore
+	mu       sync.Mutex
+	series   map[string]*Counter
+	names    map[string]string // series key -> rendered exposition name
+	overflow *Counter
+}
+
+// With returns the counter for the given label values (one per key, in
+// key order). Unknown tuples intern a new series until the cap; the
+// cap'th-plus-one tuple — or a wrong number of values — returns the
+// shared overflow series. Nil-safe: a nil vector returns a nil counter.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	key, ok := v.core.seriesKey(values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if ok {
+		if c, hit := v.series[key]; hit {
+			return c
+		}
+		if len(v.series) < v.core.limit {
+			c := &Counter{}
+			v.series[key] = c
+			v.names[key] = v.core.rendered(values)
+			return c
+		}
+	}
+	if v.overflow == nil {
+		v.overflow = &Counter{}
+	}
+	return v.overflow
+}
+
+// SetLimit overrides the series cap (default DefaultMaxSeries). Call
+// before the vector is populated; shrinking below the live series count
+// does not evict.
+func (v *CounterVec) SetLimit(n int) {
+	if v == nil || n <= 0 {
+		return
+	}
+	v.mu.Lock()
+	v.core.limit = n
+	v.mu.Unlock()
+}
+
+// fold copies every live series (rendered name -> value) into dst.
+func (v *CounterVec) fold(dst map[string]int64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for key, c := range v.series {
+		dst[v.names[key]] = c.Value()
+	}
+	if v.overflow != nil {
+		dst[v.core.renderedOverflow()] = v.overflow.Value()
+	}
+}
+
+// GaugeVec is a family of gauges sharing one name and label schema; see
+// CounterVec for the interning and overflow rules.
+type GaugeVec struct {
+	core     vecCore
+	mu       sync.Mutex
+	series   map[string]*Gauge
+	names    map[string]string
+	overflow *Gauge
+}
+
+// With returns the gauge for the given label values; see CounterVec.With.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	key, ok := v.core.seriesKey(values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if ok {
+		if g, hit := v.series[key]; hit {
+			return g
+		}
+		if len(v.series) < v.core.limit {
+			g := &Gauge{}
+			v.series[key] = g
+			v.names[key] = v.core.rendered(values)
+			return g
+		}
+	}
+	if v.overflow == nil {
+		v.overflow = &Gauge{}
+	}
+	return v.overflow
+}
+
+// SetLimit overrides the series cap; see CounterVec.SetLimit.
+func (v *GaugeVec) SetLimit(n int) {
+	if v == nil || n <= 0 {
+		return
+	}
+	v.mu.Lock()
+	v.core.limit = n
+	v.mu.Unlock()
+}
+
+func (v *GaugeVec) fold(dst map[string]int64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for key, g := range v.series {
+		dst[v.names[key]] = g.Value()
+	}
+	if v.overflow != nil {
+		dst[v.core.renderedOverflow()] = v.overflow.Value()
+	}
+}
+
+// HistogramVec is a family of histograms sharing one name, one bucket
+// layout and one label schema; see CounterVec for interning and
+// overflow rules.
+type HistogramVec struct {
+	core     vecCore
+	bounds   []int64
+	mu       sync.Mutex
+	series   map[string]*Histogram
+	names    map[string]string
+	overflow *Histogram
+}
+
+// With returns the histogram for the given label values; see
+// CounterVec.With.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	key, ok := v.core.seriesKey(values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if ok {
+		if h, hit := v.series[key]; hit {
+			return h
+		}
+		if len(v.series) < v.core.limit {
+			h := NewHistogram(v.bounds...)
+			v.series[key] = h
+			v.names[key] = v.core.rendered(values)
+			return h
+		}
+	}
+	if v.overflow == nil {
+		v.overflow = NewHistogram(v.bounds...)
+	}
+	return v.overflow
+}
+
+// SetLimit overrides the series cap; see CounterVec.SetLimit.
+func (v *HistogramVec) SetLimit(n int) {
+	if v == nil || n <= 0 {
+		return
+	}
+	v.mu.Lock()
+	v.core.limit = n
+	v.mu.Unlock()
+}
+
+func (v *HistogramVec) fold(dst map[string]HistogramSnapshot) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for key, h := range v.series {
+		dst[v.names[key]] = h.Snapshot()
+	}
+	if v.overflow != nil {
+		dst[v.core.renderedOverflow()] = v.overflow.Snapshot()
+	}
+}
+
+// CounterVec returns the named counter vector with the given label
+// keys, creating it on first use (later key lists are ignored for an
+// existing vector, matching Histogram's bounds rule). Nil-safe.
+func (r *Registry) CounterVec(name string, labelKeys ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.cvecs[name]
+	if !ok {
+		v = &CounterVec{
+			core:   newVecCore(name, labelKeys),
+			series: make(map[string]*Counter),
+			names:  make(map[string]string),
+		}
+		r.cvecs[name] = v
+	}
+	return v
+}
+
+// GaugeVec returns the named gauge vector; see CounterVec.
+func (r *Registry) GaugeVec(name string, labelKeys ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.gvecs[name]
+	if !ok {
+		v = &GaugeVec{
+			core:   newVecCore(name, labelKeys),
+			series: make(map[string]*Gauge),
+			names:  make(map[string]string),
+		}
+		r.gvecs[name] = v
+	}
+	return v
+}
+
+// HistogramVec returns the named histogram vector with the given bucket
+// bounds; see CounterVec for the interning rules.
+func (r *Registry) HistogramVec(name string, bounds []int64, labelKeys ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.hvecs[name]
+	if !ok {
+		v = &HistogramVec{
+			core:   newVecCore(name, labelKeys),
+			bounds: append([]int64(nil), bounds...),
+			series: make(map[string]*Histogram),
+			names:  make(map[string]string),
+		}
+		r.hvecs[name] = v
+	}
+	return v
+}

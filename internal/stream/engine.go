@@ -1,8 +1,10 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"sync"
@@ -54,6 +56,16 @@ type Config struct {
 	// registered at once across every multiplexed session of the engine;
 	// Register fails once the cap is reached. 0 means no cap.
 	MaxPredicatesPerTenant int
+	// Ledger, when non-nil, attributes serving cost — per-batch CPU time,
+	// detector steps, delivered events, wire bytes — to (tenant, family)
+	// scopes plus a hot-predicate step table. A nil ledger costs one nil
+	// check per batch (every scope handle is a nil no-op).
+	Ledger *obs.Ledger
+	// ProfileLabels, when true, wraps shard workers and batch detector
+	// work in runtime/pprof labels (tenant, family, shard) so CPU and
+	// heap profiles attribute samples to tenants. Off by default: label
+	// swaps on every batch cost a few percent on the ingest path.
+	ProfileLabels bool
 }
 
 func (c Config) withDefaults() Config {
@@ -73,13 +85,25 @@ func (c Config) withDefaults() Config {
 // counters through atomics, everyone else (stats endpoint, server append
 // acks) reads without locks.
 type handle struct {
-	id    string
-	kind  string // canonical predicate family of the session
-	shard int
+	id     string
+	kind   string // canonical predicate family of the session
+	tenant string // owning tenant (Spec.Tenant, "default" when unset)
+	shard  int
 
 	sess *Session // owned by the shard worker; never touched elsewhere
 
 	opened time.Time // for verdict latency
+
+	// scope is the session's cost-attribution scope, interned at open
+	// (before the registry publish, so cross-goroutine readers like
+	// AttributeBytes see it without synchronization). Nil when the
+	// ledger is off.
+	scope *obs.Scope
+	// labelCtx carries the session's pprof labels (tenant, family,
+	// shard), pre-merged into a context at open so the per-frame label
+	// swap is a pointer store, not a map merge. Nil when
+	// Config.ProfileLabels is off; worker-confined.
+	labelCtx context.Context
 
 	// Worker-confined flight/SLO state (never read off the worker).
 	lastSeq     uint64 // seq of the session's most recent append frame
@@ -112,6 +136,7 @@ func (h *handle) stats() SessionStats {
 	st := SessionStats{
 		ID:        h.id,
 		Kind:      h.kind,
+		Tenant:    h.tenant,
 		Shard:     h.shard,
 		Ingested:  h.ingested.Load(),
 		Delivered: h.delivered.Load(),
@@ -147,6 +172,11 @@ type shard struct {
 	detections    atomic.Uint64
 	gauge         atomic.Int64
 
+	// baseCtx carries the worker's own pprof labels (subsystem, shard),
+	// restored after each session's labeled window. Set once in run();
+	// nil when Config.ProfileLabels is off. Worker-confined.
+	baseCtx context.Context
+
 	// Interned registry handles (nil no-ops when metrics are off).
 	mFrames     *obs.Counter
 	mEvents     *obs.Counter
@@ -170,12 +200,14 @@ type Engine struct {
 	closed   atomic.Bool
 
 	flight *obs.Flight
+	ledger *obs.Ledger
 
 	// SLO watchdog state (see slo.go).
 	sloDumped    sync.Map // rule -> struct{}: rules that already dumped
 	shedTotal    atomic.Uint64
 	sloShedFired atomic.Bool
 	sloPredFired atomic.Bool
+	sloCPUFired  sync.Map // tenant -> struct{}: CPU-share rule latched
 
 	// Control-plane predicate accounting: registrations minus
 	// unregistrations minus releases at session close, per tenant.
@@ -193,14 +225,18 @@ type Engine struct {
 	mBreaches       map[string]*obs.Counter // SLO rule -> breach counter
 	mMuxSteps       *obs.Counter
 	mMuxSkipped     *obs.Counter
-	tenantGauges    sync.Map // tenant -> *obs.Gauge: mux_registered_predicates{tenant=...}
-	tenantLatency   sync.Map // tenant -> *obs.Histogram: mux_verdict_latency_millis{tenant=...}
+	// Labeled vectors: interning and the cardinality cap live in obs
+	// (the PR-6 name-mangled per-tenant series migrated here; rendered
+	// exposition names are unchanged, so dashboards keep working).
+	vTenantPreds   *obs.GaugeVec     // mux_registered_predicates{tenant=...}
+	vTenantLatency *obs.HistogramVec // mux_verdict_latency_millis{tenant=...}
+	vFinalizeWork  *obs.CounterVec   // stream_finalize_work_total{counter=...}
 }
 
 // NewEngine starts the shard pool.
 func NewEngine(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
-	e := &Engine{cfg: cfg, flight: cfg.Flight, tenantCounts: make(map[string]int)}
+	e := &Engine{cfg: cfg, flight: cfg.Flight, ledger: cfg.Ledger, tenantCounts: make(map[string]int)}
 	m := cfg.Metrics
 	e.mDeliveryLag = m.Histogram("stream_delivery_lag_events", obs.ExpBuckets(1, 12)...)
 	e.mHoldback = m.Histogram("stream_holdback_depth", obs.ExpBuckets(1, 12)...)
@@ -208,12 +244,26 @@ func NewEngine(cfg Config) *Engine {
 	e.mFinalizeMillis = m.Histogram("stream_finalize_millis", obs.ExpBuckets(1, 16)...)
 	e.mMuxSteps = m.Counter("mux_steps_total")
 	e.mMuxSkipped = m.Counter("mux_steps_skipped_total")
+	e.vTenantPreds = m.GaugeVec("mux_registered_predicates", "tenant")
+	e.vTenantLatency = m.HistogramVec("mux_verdict_latency_millis", obs.ExpBuckets(1, 16), "tenant")
+	e.vFinalizeWork = m.CounterVec("stream_finalize_work_total", "counter")
 	// Pre-interned so every rule exports an explicit zero before it
 	// first fires (scrapers can always alert on the series).
+	breaches := m.CounterVec("slo_breaches_total", "rule")
 	e.mBreaches = make(map[string]*obs.Counter, len(sloRules))
 	for _, rule := range sloRules {
-		e.mBreaches[rule] = m.Counter(obs.Label("slo_breaches_total", "rule", rule))
+		e.mBreaches[rule] = breaches.With(rule)
 	}
+	shardCounters := func(name string) *obs.CounterVec { return m.CounterVec(name, "shard") }
+	frames := shardCounters("stream_frames_total")
+	events := shardCounters("stream_events_total")
+	batches := shardCounters("stream_batches_total")
+	shedFrames := shardCounters("stream_shed_frames_total")
+	shedEvents := shardCounters("stream_shed_events_total")
+	detections := shardCounters("stream_detections_total")
+	sessions := m.GaugeVec("stream_sessions", "shard")
+	depth := m.GaugeVec("stream_mailbox_depth", "shard")
+	occupancy := m.HistogramVec("stream_mailbox_occupancy", obs.ExpBuckets(1, 10), "shard")
 	for i := 0; i < cfg.Shards; i++ {
 		label := strconv.Itoa(i)
 		sh := &shard{
@@ -221,15 +271,15 @@ func NewEngine(cfg Config) *Engine {
 			mb:       newMailbox(cfg.QueueLen),
 			sessions: make(map[string]*handle),
 
-			mFrames:     m.Counter(obs.Label("stream_frames_total", "shard", label)),
-			mEvents:     m.Counter(obs.Label("stream_events_total", "shard", label)),
-			mBatches:    m.Counter(obs.Label("stream_batches_total", "shard", label)),
-			mShedFrames: m.Counter(obs.Label("stream_shed_frames_total", "shard", label)),
-			mShedEvents: m.Counter(obs.Label("stream_shed_events_total", "shard", label)),
-			mDetections: m.Counter(obs.Label("stream_detections_total", "shard", label)),
-			mSessions:   m.Gauge(obs.Label("stream_sessions", "shard", label)),
-			mDepth:      m.Gauge(obs.Label("stream_mailbox_depth", "shard", label)),
-			mOccupancy:  m.Histogram(obs.Label("stream_mailbox_occupancy", "shard", label), obs.ExpBuckets(1, 10)...),
+			mFrames:     frames.With(label),
+			mEvents:     events.With(label),
+			mBatches:    batches.With(label),
+			mShedFrames: shedFrames.With(label),
+			mShedEvents: shedEvents.With(label),
+			mDetections: detections.With(label),
+			mSessions:   sessions.With(label),
+			mDepth:      depth.With(label),
+			mOccupancy:  occupancy.With(label),
 		}
 		e.shards = append(e.shards, sh)
 		e.wg.Add(1)
@@ -258,6 +308,15 @@ func (e *Engine) shardFor(id string) *shard {
 // flush each touched session exactly once and publish its counters.
 func (e *Engine) run(sh *shard) {
 	defer e.wg.Done()
+	if e.cfg.ProfileLabels {
+		// Base labels for everything this worker does outside a session's
+		// withLabels window (drain, routing, bookkeeping). A goroutine
+		// profile at debug=1 prints these, which is what the label
+		// presence test asserts deterministically.
+		sh.baseCtx = pprof.WithLabels(context.Background(),
+			pprof.Labels("subsystem", "gpd-stream", "shard", strconv.Itoa(sh.idx)))
+		pprof.SetGoroutineLabels(sh.baseCtx)
+	}
 	batch := make([]shardMsg, 0, e.cfg.BatchSize)
 	touched := make(map[string]*handle)
 	var ids []string // reused per batch for sorted flush order
@@ -305,7 +364,9 @@ func (e *Engine) run(sh *shard) {
 			if h.sess == nil {
 				continue // closed within the batch
 			}
-			h.sess.Flush()
+			t0 := e.costStart()
+			e.withLabels(sh, h, func() { h.sess.Flush() })
+			e.costEnd(h, t0)
 			e.flight.Record(obs.FlightRecord{
 				Seq: h.lastSeq, Session: id, Shard: sh.idx, Proc: -1,
 				Stage: obs.StageUpdate, Detail: "flush " + strconv.FormatInt(int64(h.sess.Flushes()), 10),
@@ -317,6 +378,42 @@ func (e *Engine) run(sh *shard) {
 			return
 		}
 	}
+}
+
+// withLabels runs fn under the session's pprof labels (tenant, family,
+// shard), so CPU and heap profile samples taken while detector work
+// runs attribute to the owning tenant. A direct call when profile
+// labels are off. The contexts are pre-merged (open for the session,
+// run for the worker base), so each swap is a runtime pointer store —
+// pprof.Do would rebuild the label map on every frame.
+func (e *Engine) withLabels(sh *shard, h *handle, fn func()) {
+	if h.labelCtx == nil {
+		fn()
+		return
+	}
+	pprof.SetGoroutineLabels(h.labelCtx)
+	fn()
+	pprof.SetGoroutineLabels(sh.baseCtx)
+}
+
+// costStart opens a CPU-attribution window: the wall clock on the
+// worker goroutine, which between costStart and costEnd is running
+// nothing but the session's detector work. Zero (and free) when the
+// ledger is off.
+func (e *Engine) costStart() time.Time {
+	if e.ledger == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// costEnd closes the window opened by costStart and charges the
+// elapsed nanoseconds to the session's scope.
+func (e *Engine) costEnd(h *handle, t0 time.Time) {
+	if e.ledger == nil {
+		return
+	}
+	h.scope.AddCPU(int64(time.Since(t0)))
 }
 
 // publish copies a session's state into its handle's atomics and feeds the
@@ -347,6 +444,9 @@ func (e *Engine) publish(sh *shard, h *handle, sample bool) {
 		e.mMuxSteps.Add(ms.Steps - h.lastSteps)
 		e.mMuxSkipped.Add(ms.Skipped - h.lastSkipped)
 		h.lastSteps, h.lastSkipped = ms.Steps, ms.Skipped
+	}
+	if sample && e.cfg.SLO.TenantCPUShare > 0 {
+		e.checkTenantCPUShare(h.tenant)
 	}
 	if max := e.cfg.SLO.HoldbackDepth; max > 0 && int(holdback) > max && !h.sloHoldback {
 		h.sloHoldback = true
@@ -385,10 +485,33 @@ func (e *Engine) apply(sh *shard, m shardMsg, touched map[string]*handle) {
 			m.reply <- shardReply{err: err}
 			return
 		}
-		h := &handle{id: m.session, kind: sess.KindLabel(), shard: sh.idx, sess: sess, opened: time.Now()}
+		tenant := m.spec.Tenant
+		if tenant == "" {
+			tenant = "default"
+		}
+		h := &handle{id: m.session, kind: sess.KindLabel(), tenant: tenant, shard: sh.idx, sess: sess, opened: time.Now()}
 		if sess.Mux() {
 			h.regTimes = make(map[string]time.Time)
 			h.regTenants = make(map[string]string)
+		}
+		h.scope = e.ledger.Scope(tenant, h.kind)
+		if e.ledger != nil {
+			// Steps flow through the mux cost hook so multiplexed
+			// sessions attribute to each registration's own tenant and
+			// family; the session's built-in all-events predicate maps
+			// back to the session id.
+			id := m.session
+			sess.OnCost(func(tenant, family, pid string, steps int64) {
+				e.ledger.Scope(tenant, family).AddSteps(steps)
+				if pid == sessionPred {
+					pid = id
+				}
+				e.ledger.RecordPredicate(pid, tenant, family, steps)
+			})
+		}
+		if e.cfg.ProfileLabels {
+			h.labelCtx = pprof.WithLabels(context.Background(),
+				pprof.Labels("tenant", tenant, "family", h.kind, "shard", strconv.Itoa(sh.idx)))
 		}
 		sh.sessions[m.session] = h
 		e.registry.Store(m.session, h)
@@ -405,13 +528,18 @@ func (e *Engine) apply(sh *shard, m shardMsg, touched map[string]*handle) {
 		sh.events.Add(uint64(len(m.events)))
 		sh.mEvents.Add(int64(len(m.events)))
 		h.ingested.Add(uint64(len(m.events)))
+		h.scope.AddEvents(int64(len(m.events)))
 		h.lastSeq = m.seq
 		deliveredBefore := h.sess.Delivered()
-		for _, ev := range m.events {
-			if h.sess.Step(ev) != nil {
-				break // sticky error; publish carries it to the handle
+		t0 := e.costStart()
+		e.withLabels(sh, h, func() {
+			for _, ev := range m.events {
+				if h.sess.Step(ev) != nil {
+					break // sticky error; publish carries it to the handle
+				}
 			}
-		}
+		})
+		e.costEnd(h, t0)
 		e.recordFrame(sh, h, m, deliveredBefore)
 		touched[m.session] = h
 	case msgQuery:
@@ -491,8 +619,15 @@ func (e *Engine) apply(sh *shard, m shardMsg, touched map[string]*handle) {
 			tr = obs.NewTrace()
 		}
 		start := time.Now()
-		verdict, err := h.sess.FinalizeTraced(tr)
+		var verdict Verdict
+		var err error
+		e.withLabels(sh, h, func() { verdict, err = h.sess.FinalizeTraced(tr) })
 		e.mFinalizeMillis.Observe(time.Since(start).Milliseconds())
+		if e.ledger != nil {
+			// The close-time Definitely rebuild is the engine's most
+			// expensive batch entry point; charge it like any batch.
+			h.scope.AddCPU(int64(time.Since(start)))
+		}
 		e.foldFinalizeWork(tr)
 		e.drainUpdates(sh, h)
 		var preds []mux.Update
@@ -593,7 +728,7 @@ func (e *Engine) foldFinalizeWork(tr *obs.Trace) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		e.cfg.Metrics.Counter(obs.Label("stream_finalize_work_total", "counter", name)).Add(counters[name])
+		e.vFinalizeWork.With(name).Add(counters[name])
 	}
 }
 
@@ -775,25 +910,37 @@ func (e *Engine) releaseTenant(tenant string, n int) {
 	e.tenantGauge(tenant).Add(int64(-n))
 }
 
-// tenantGauge interns the tenant's registered-predicates gauge.
+// tenantGauge returns the tenant's registered-predicates gauge;
+// interning and the cardinality cap live in the vector.
 func (e *Engine) tenantGauge(tenant string) *obs.Gauge {
-	if v, ok := e.tenantGauges.Load(tenant); ok {
-		return v.(*obs.Gauge)
-	}
-	g := e.cfg.Metrics.Gauge(obs.Label("mux_registered_predicates", "tenant", tenant))
-	v, _ := e.tenantGauges.LoadOrStore(tenant, g)
-	return v.(*obs.Gauge)
+	return e.vTenantPreds.With(tenant)
 }
 
-// tenantVerdictLatency interns the tenant's register→latch latency
+// tenantVerdictLatency returns the tenant's register→latch latency
 // histogram.
 func (e *Engine) tenantVerdictLatency(tenant string) *obs.Histogram {
-	if v, ok := e.tenantLatency.Load(tenant); ok {
-		return v.(*obs.Histogram)
+	return e.vTenantLatency.With(tenant)
+}
+
+// AttributeBytes charges wire traffic to a session's (tenant, family)
+// scope — the transport calls it per request once it knows the session
+// the bytes belong to. A no-op without a ledger or for unknown
+// sessions (idle keepalives, misaddressed frames).
+func (e *Engine) AttributeBytes(session string, in, out int64) {
+	if e.ledger == nil || session == "" {
+		return
 	}
-	hist := e.cfg.Metrics.Histogram(obs.Label("mux_verdict_latency_millis", "tenant", tenant), obs.ExpBuckets(1, 16)...)
-	v, _ := e.tenantLatency.LoadOrStore(tenant, hist)
-	return v.(*obs.Histogram)
+	v, ok := e.registry.Load(session)
+	if !ok {
+		return
+	}
+	v.(*handle).scope.AddBytes(in, out)
+}
+
+// Ledger returns the engine's cost ledger (nil when cost accounting is
+// off), for stats surfaces that report per-tenant attribution.
+func (e *Engine) Ledger() *obs.Ledger {
+	return e.ledger
 }
 
 // Possibly returns a session's latched verdict without synchronizing with

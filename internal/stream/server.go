@@ -161,14 +161,20 @@ func (s *Server) serve(conn net.Conn) {
 		})
 		s.logger.Debug("connection closed", "peer", peer)
 	}()
-	br := bufio.NewReader(conn)
-	bw := bufio.NewWriter(conn)
+	// Byte counters sit under the buffered reader/writer, so attribution
+	// sees framed wire bytes (length prefix included), not payload JSON.
+	// Counts are read on this goroutine only.
+	cr := &countingReader{r: conn}
+	cw := &countingWriter{w: conn}
+	br := bufio.NewReader(cr)
+	bw := bufio.NewWriter(cw)
 	for {
 		if s.idleTimeout > 0 {
 			if err := conn.SetReadDeadline(time.Now().Add(s.idleTimeout)); err != nil {
 				return // connection already dead; without the deadline a silent peer would hold the goroutine forever
 			}
 		}
+		inBefore, outBefore := cr.n, cw.n
 		req, err := DecodeRequest(br)
 		if err != nil {
 			// Version/JSON errors get one best-effort complaint; framing
@@ -182,11 +188,49 @@ func (s *Server) serve(conn net.Conn) {
 			s.reply(conn, bw, Response{V: ProtocolVersion, Error: err.Error()})
 			return
 		}
+		if req.Type == "close" {
+			// Closing deletes the session's scope; charge the request
+			// bytes while it still exists (the reply goes unattributed).
+			s.eng.AttributeBytes(req.Session, cr.n-inBefore, 0)
+		}
 		resp := s.handle(req)
-		if !s.reply(conn, bw, resp) {
+		ok := s.reply(conn, bw, resp)
+		if req.Type != "close" {
+			// reply flushes, so cw.n is final for this request. The
+			// buffered reader may have prefetched the next frame's bytes;
+			// they are charged to this request's session — over a
+			// connection's life the totals are exact, and prefetch only
+			// blurs adjacency.
+			s.eng.AttributeBytes(req.Session, cr.n-inBefore, cw.n-outBefore)
+		}
+		if !ok {
 			return
 		}
 	}
+}
+
+// countingReader/countingWriter tap a connection's byte totals for the
+// cost ledger. Confined to the serve goroutine; no atomics needed.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // reply frames one response; returns false when the connection is dead.

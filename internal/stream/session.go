@@ -83,6 +83,7 @@ func NewSession(spec Spec) (*Session, error) {
 	s.payload = entry.Caps.Payload
 	if err := s.group.Register(mux.Registration{
 		ID:        sessionPred,
+		Tenant:    spec.Tenant,
 		Spec:      ps,
 		Involved:  spec.Involved,
 		Init:      spec.Init,
@@ -158,6 +159,12 @@ func (s *Session) PredicateStates() []mux.Update { return s.group.States() }
 
 // MuxStats returns the group's multiplexing counters.
 func (s *Session) MuxStats() mux.Stats { return s.group.Stats() }
+
+// OnCost installs the per-predicate step-cost hook on the underlying
+// group: invoked at every flush with each stepped predicate's step
+// delta, keyed by tenant, family and registration id. The engine feeds
+// the cost ledger through it.
+func (s *Session) OnCost(fn func(tenant, family, id string, steps int64)) { s.group.OnCost(fn) }
 
 // Tenants returns the per-tenant registered-predicate counts.
 func (s *Session) Tenants() map[string]int { return s.group.Tenants() }

@@ -28,11 +28,15 @@ const (
 	// registered predicates (across every multiplexed session) exceeds
 	// the threshold.
 	SLORegisteredPredicates = "registered_predicates"
+	// SLOTenantCPUShare fires when one tenant's share of the
+	// ledger-attributed CPU exceeds the threshold — the noisy-neighbour
+	// alarm for a multi-tenant engine. Needs Config.Ledger.
+	SLOTenantCPUShare = "tenant_cpu_share"
 )
 
 // sloRules lists every rule so NewEngine can pre-intern the breach
 // counters — a rule that never fires still exports an explicit zero.
-var sloRules = []string{SLOVerdictLatency, SLOHoldbackDepth, SLOMailboxDepth, SLOShedFrames, SLORegisteredPredicates}
+var sloRules = []string{SLOVerdictLatency, SLOHoldbackDepth, SLOMailboxDepth, SLOShedFrames, SLORegisteredPredicates, SLOTenantCPUShare}
 
 // SLOConfig is the engine's latency/backlog watchdog. A zero threshold
 // disables its rule; a zero config disables the watchdog entirely. On
@@ -56,6 +60,15 @@ type SLOConfig struct {
 	// RegisteredPredicates is the engine-wide registered-predicate
 	// budget across multiplexed sessions. Fires at most once per engine.
 	RegisteredPredicates int
+	// TenantCPUShare is the fraction (0,1] of ledger-attributed CPU one
+	// tenant may hold before the tenant_cpu_share rule fires, at most
+	// once per tenant. Requires Config.Ledger; checked on sampled
+	// publishes, so a breach is detected within a few batches.
+	TenantCPUShare float64
+	// TenantCPUFloor is the minimum total attributed CPU before shares
+	// are evaluated (default 100ms) — with microseconds of history,
+	// whichever tenant spoke first holds 100% of nothing.
+	TenantCPUFloor time.Duration
 	// DumpPath is the file the flight ring is dumped to on breach (""
 	// disables dumping). The write is atomic: a temp file in the same
 	// directory, renamed into place.
@@ -91,6 +104,33 @@ func (e *Engine) breach(rule, detail string) {
 	if f := e.cfg.SLO.OnBreach; f != nil {
 		f(rule, detail, path)
 	}
+}
+
+// checkTenantCPUShare evaluates the noisy-neighbour rule for one tenant
+// against the ledger: share = tenant CPU / total attributed CPU, gated
+// by the floor so early history cannot fire it, latched once per
+// tenant. Called from sampled publishes only, so the ledger sums (a
+// mutex plus a scope scan) stay off the per-batch path.
+func (e *Engine) checkTenantCPUShare(tenant string) {
+	total := e.ledger.TotalCPUNanos()
+	floor := e.cfg.SLO.TenantCPUFloor
+	if floor <= 0 {
+		floor = 100 * time.Millisecond
+	}
+	if total < int64(floor) {
+		return
+	}
+	cpu := e.ledger.TenantCPUNanos(tenant)
+	share := float64(cpu) / float64(total)
+	if share <= e.cfg.SLO.TenantCPUShare {
+		return
+	}
+	if _, fired := e.sloCPUFired.LoadOrStore(tenant, struct{}{}); fired {
+		return
+	}
+	e.breach(SLOTenantCPUShare, "tenant "+tenant+": "+
+		strconv.FormatFloat(share*100, 'f', 1, 64)+"% of attributed CPU ("+
+		time.Duration(cpu).String()+" of "+time.Duration(total).String()+")")
 }
 
 // dumpFlight writes the flight ring to SLO.DumpPath atomically

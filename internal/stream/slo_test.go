@@ -70,14 +70,14 @@ func TestSLOVerdictLatencyBreach(t *testing.T) {
 	waitBreach(t, breached, SLOVerdictLatency, dump)
 
 	snap := reg.Snapshot()
-	rule := obs.Label("slo_breaches_total", "rule", SLOVerdictLatency)
+	rule := `slo_breaches_total{rule="` + SLOVerdictLatency + `"}`
 	if n := snap.Counters[rule]; n != 1 {
 		t.Errorf("%s = %d, want 1", rule, n)
 	}
 	// The other rules must exist as explicit zeros (scrape-able before
 	// they first fire).
 	for _, r := range []string{SLOHoldbackDepth, SLOMailboxDepth, SLOShedFrames} {
-		name := obs.Label("slo_breaches_total", "rule", r)
+		name := `slo_breaches_total{rule="` + r + `"}`
 		if n, ok := snap.Counters[name]; !ok || n != 0 {
 			t.Errorf("%s = %d (present %v), want explicit 0", name, n, ok)
 		}
@@ -201,13 +201,13 @@ func TestSLOShedFramesBreach(t *testing.T) {
 	if snap.Dropped < 2 {
 		t.Fatalf("expected many shed frames, got %d", snap.Dropped)
 	}
-	rule := obs.Label("slo_breaches_total", "rule", SLOShedFrames)
+	rule := `slo_breaches_total{rule="` + SLOShedFrames + `"}`
 	if n := reg.Snapshot().Counters[rule]; n != 1 {
 		t.Errorf("%s = %d, want exactly 1 (latched)", rule, n)
 	}
 	// Shed accounting now reaches the obs counters on the overflow path
 	// too (the seed only counted unknown-session drops there).
-	shed := obs.Label("stream_shed_frames_total", "shard", "0")
+	shed := `stream_shed_frames_total{shard="0"}`
 	if n := reg.Snapshot().Counters[shed]; uint64(n) != snap.Dropped {
 		t.Errorf("%s = %d, want %d (same as shard atomics)", shed, n, snap.Dropped)
 	}

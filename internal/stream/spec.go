@@ -125,6 +125,12 @@ type Spec struct {
 	// Mutually exclusive with Pred/Kind and the per-predicate fields
 	// (Involved, K, Levels, Init, Retain).
 	Mux bool `json:"mux,omitempty"`
+	// Tenant names the session's owning tenant for cost attribution and
+	// per-tenant metrics; "" means "default". Predicates registered on a
+	// multiplexed session carry their own tenant (RegisterSpec.Tenant) —
+	// this field owns the session-level resources: ingest, delivery,
+	// close-time finalization, wire bytes.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Canonical converts the wire spec into the canonical predicate

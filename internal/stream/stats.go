@@ -8,6 +8,7 @@ package stream
 type SessionStats struct {
 	ID        string `json:"id"`
 	Kind      string `json:"kind"`
+	Tenant    string `json:"tenant,omitempty"` // owning tenant (cost attribution scope)
 	Shard     int    `json:"shard"`
 	Ingested  uint64 `json:"ingested"`  // events handed to the session
 	Delivered int64  `json:"delivered"` // events causally delivered
