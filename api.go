@@ -8,6 +8,7 @@ import (
 	"github.com/distributed-predicates/gpd/internal/detect"
 	"github.com/distributed-predicates/gpd/internal/obs"
 	"github.com/distributed-predicates/gpd/internal/pred"
+	"github.com/distributed-predicates/gpd/internal/slicing"
 )
 
 // Spec is a predicate specification: one family plus its parameters. Build
@@ -99,7 +100,22 @@ const (
 	// families; cross-checkable against StrategyBatch. Replay runs do
 	// not construct witness cuts.
 	StrategyReplay = detect.StrategyReplay
+	// StrategySlice computes the predicate's slice first — the exact
+	// sublattice of satisfying cuts a regular predicate induces (Mittal
+	// & Garg, "Computation slicing") — and decides from it, delegating
+	// to the family's batch kernel only when the slice alone cannot
+	// answer. Available for the regular families (all(var), and
+	// inflight == 0); other specs fail with an error matching
+	// ErrNotRegular instead of silently degrading.
+	StrategySlice = detect.StrategySlice
 )
+
+// ErrNotRegular reports a predicate whose satisfying cuts are not
+// closed under lattice meet and join — the precondition for computation
+// slicing. Detect under WithStrategy(StrategySlice) returns errors
+// matching it (via errors.Is) for non-regular specs; the error message
+// names the rejected family or fragment.
+var ErrNotRegular = slicing.ErrNotRegular
 
 // Trace collects per-run observability data: timed spans and named work
 // counters. All methods are safe on a nil *Trace (no-ops), so detectors
@@ -191,9 +207,10 @@ type Report struct {
 	Holds bool
 	// Witness, when non-nil, is a consistent cut satisfying the
 	// predicate. Produced only under ModalityPossibly with
-	// StrategyBatch, and only by the families whose detectors construct
-	// cuts (all, sum ==, count, xor, levels, inflight ==, cnf,
-	// equilevel).
+	// StrategyBatch (by the families whose detectors construct cuts:
+	// all, sum ==, count, xor, levels, inflight ==, cnf, equilevel) or
+	// StrategySlice (the slice bottom, the same least satisfying cut
+	// the batch route constructs).
 	Witness Cut
 	// Strategy is the singular algorithm that produced the answer
 	// (FamilyCNF under ModalityPossibly only).
@@ -239,7 +256,7 @@ func Detect(c *Computation, s Spec, opts ...Option) (Report, error) {
 		return Report{}, fmt.Errorf("gpd: unknown modality %v", o.modality)
 	}
 	switch o.route {
-	case StrategyBatch, StrategyReplay:
+	case StrategyBatch, StrategyReplay, StrategySlice:
 	default:
 		return Report{}, fmt.Errorf("gpd: unknown detect strategy %v", o.route)
 	}
@@ -270,9 +287,12 @@ func Detect(c *Computation, s Spec, opts ...Option) (Report, error) {
 	// (the stream engine adds tenant/shard labels on its own entry
 	// points). Label swap cost is nanoseconds against kernel runtimes.
 	pprof.Do(context.Background(), pprof.Labels("family", s.Family.String()), func(context.Context) {
-		if o.route == StrategyReplay {
+		switch o.route {
+		case StrategyReplay:
 			res, err = detect.Replay(c, s, o.modality, tr)
-		} else {
+		case StrategySlice:
+			res, err = detect.Slice(c, s, o.modality, detect.Options{Parallelism: o.parallelism}, tr)
+		default:
 			res, err = detect.Batch(c, s, o.modality, detect.Options{Singular: o.strategy, Parallelism: o.parallelism}, tr)
 		}
 	})

@@ -9,6 +9,7 @@
 //	gpdbench -report                # trace a detection workload, print its work report
 //	gpdbench -obs-baseline out.json # measure instrumentation overhead on stream ingest
 //	gpdbench -parallel-speedup      # time the lattice kernel sequential vs parallel
+//	gpdbench -slice-compression     # slice vs lattice: state compression and detection speedup
 //
 // -report runs every detector family through gpd.Detect on a simulated
 // token-ring trace with a shared trace and prints the accumulated work
@@ -20,14 +21,20 @@
 // worst-case kernel every exponential route funnels through) at one
 // worker and at -par-cores workers, checks the verdicts are identical,
 // and prints the speedup, warning when a multi-core host gains less
-// than 1.5x.
+// than 1.5x. -slice-compression reproduces the slicing paper's central
+// economics on random conjunctive workloads: the number of consistent
+// cuts in the full lattice versus in the predicate's slice (the state
+// compression), and the time of a full lattice sweep versus slice
+// construction (the detection speedup).
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math/big"
 	"os"
 	"runtime"
 	"strings"
@@ -39,6 +46,7 @@ import (
 	"github.com/distributed-predicates/gpd/internal/gen"
 	"github.com/distributed-predicates/gpd/internal/lattice"
 	"github.com/distributed-predicates/gpd/internal/obs"
+	"github.com/distributed-predicates/gpd/internal/slicing"
 	"github.com/distributed-predicates/gpd/internal/stream"
 )
 
@@ -58,11 +66,15 @@ func run(args []string, stdout io.Writer) error {
 	obsEvents := fs.Int("obs-events", 1<<18, "events per ingest measurement for -obs-baseline")
 	parSpeedup := fs.Bool("parallel-speedup", false, "time the lattice kernel at 1 worker vs -par-cores workers and print the speedup")
 	parCores := fs.Int("par-cores", 4, "worker count for -parallel-speedup")
+	sliceComp := fs.Bool("slice-compression", false, "measure slice-vs-lattice state compression and detection speedup")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *parSpeedup {
 		return parallelSpeedup(stdout, *parCores)
+	}
+	if *sliceComp {
+		return sliceCompression(stdout)
 	}
 	if *list {
 		for _, r := range experiments.All() {
@@ -183,6 +195,83 @@ func parallelSpeedup(w io.Writer, cores int) error {
 	if runtime.GOMAXPROCS(0) >= cores && speedup < 1.5 {
 		fmt.Fprintf(w, "WARN: parallel speedup %.2fx below 1.5x at %d workers on a %d-CPU host\n",
 			speedup, cores, runtime.GOMAXPROCS(0))
+	}
+	return nil
+}
+
+// trueOracle admits every consistent cut, so its slice is the whole
+// computation and Count enumerates the full lattice — the denominator of
+// the compression ratio, counted in polynomial time via Birkhoff duality
+// instead of by sweeping.
+type trueOracle struct{}
+
+func (trueOracle) Holds(*computation.Computation, computation.Cut) bool                   { return true }
+func (trueOracle) Forbidden(*computation.Computation, computation.Cut) computation.ProcID { return 0 }
+
+// sliceCompression reproduces the central economics of computation
+// slicing on random conjunctive workloads: how many consistent cuts the
+// full lattice holds versus how many survive in the predicate's slice,
+// and how a full lattice sweep compares in time against building the
+// slice and reading the verdict off it. Truth density is kept low enough
+// that the slice is a thin sublattice — the regime the paper's speedup
+// claim lives in.
+func sliceCompression(w io.Writer) error {
+	fmt.Fprintln(w, "slice vs lattice (conjunctive all(x), random computations, truth density 0.4)")
+	fmt.Fprintf(w, "%-6s %-7s %-14s %-12s %-12s %-13s %-12s %s\n",
+		"procs", "events", "lattice-cuts", "slice-cuts", "compression", "lattice-sweep", "slice-build", "speedup")
+	for _, sz := range []struct{ procs, events int }{{4, 5}, {5, 6}, {6, 7}} {
+		c := gen.Random(gen.Params{Seed: int64(2000 + sz.procs), Procs: sz.procs, Events: sz.events, MsgFrac: 0.4})
+		tabs := gen.BoolTables(int64(2100+sz.procs), c, 0.4)
+		locals := make(map[computation.ProcID]func(computation.Event) bool)
+		for p, row := range tabs {
+			row := row
+			locals[computation.ProcID(p)] = func(e computation.Event) bool {
+				return e.Index < len(row) && row[e.Index]
+			}
+		}
+		o := slicing.ConjunctiveOracle(locals)
+
+		all, err := slicing.Compute(c, trueOracle{})
+		if err != nil {
+			return err
+		}
+		latticeCuts := all.Count(trueOracle{})
+
+		sliceCuts := "0"
+		buildStart := time.Now()
+		s, err := slicing.Compute(c, o)
+		build := time.Since(buildStart)
+		switch {
+		case err == nil:
+			sliceCuts = s.Count(o).String()
+		case errors.Is(err, slicing.ErrEmpty):
+			// Empty slice: the predicate never holds; detection is done.
+		default:
+			return err
+		}
+
+		sweepStart := time.Now()
+		found := false
+		all.Ideals(trueOracle{}, func(k computation.Cut) bool {
+			if o.Holds(c, k) {
+				found = true
+				return false
+			}
+			return true
+		})
+		sweep := time.Since(sweepStart)
+		if found != (err == nil) {
+			return fmt.Errorf("slice route disagrees with the lattice sweep: sweep %v, slice %v", found, err == nil)
+		}
+
+		compression := new(big.Float).SetInt(latticeCuts)
+		if sc, ok := new(big.Float).SetString(sliceCuts); ok && sc.Sign() > 0 {
+			compression.Quo(compression, sc)
+		}
+		speedup := float64(sweep) / float64(build)
+		fmt.Fprintf(w, "%-6d %-7d %-14s %-12s %-12s %-13v %-12v %.1fx\n",
+			sz.procs, c.NumEvents(), latticeCuts.String(), sliceCuts,
+			compression.Text('f', 1)+"x", sweep.Round(time.Microsecond), build.Round(time.Microsecond), speedup)
 	}
 	return nil
 }

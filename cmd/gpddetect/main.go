@@ -28,7 +28,10 @@
 // -replay decides the predicate by driving the family's incremental
 // detector — the state machine gpdserver runs — over a causal
 // linearization of the trace instead of the batch algorithm, which makes
-// the CLI a cross-checking harness for the two routes. -report appends
+// the CLI a cross-checking harness for the two routes. -slice decides it
+// by building the predicate's computation slice (regular predicates
+// only: conjunctive, and channel quiescence inflight == 0) — a third
+// independently derived route over the same trace. -report appends
 // the run's work accounting (timed spans and per-phase work counters) to
 // the verdict. -flight writes the same span tree as
 // Chrome trace-event JSON (loadable in Perfetto or chrome://tracing),
@@ -60,6 +63,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	modality := fs.String("modality", "possibly", "possibly or definitely")
 	strategy := fs.String("strategy", "auto", "singular strategy: auto, receive-ordered, send-ordered, subsets, chains")
 	replay := fs.Bool("replay", false, "decide via the incremental detector replayed over the trace (cross-checkable against the default batch route)")
+	slice := fs.Bool("slice", false, "decide via the computation slice (regular predicates only; cross-checkable against the default batch route)")
 	report := fs.Bool("report", false, "print the run's work counters and timed spans")
 	par := fs.Int("par", 0, "worker pool size for the batch kernels (0 = GOMAXPROCS, 1 = sequential)")
 	flight := fs.String("flight", "", "write the run's span tree as Chrome trace-event JSON to this file")
@@ -113,8 +117,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 
 	opts := []gpd.Option{gpd.WithModality(mod), gpd.WithParallelism(*par)}
+	if *replay && *slice {
+		return errors.New("-replay and -slice are mutually exclusive")
+	}
 	if *replay {
 		opts = append(opts, gpd.WithStrategy(gpd.StrategyReplay))
+	}
+	if *slice {
+		opts = append(opts, gpd.WithStrategy(gpd.StrategySlice))
 	}
 	if strategySet {
 		// Detect rejects the option for non-cnf predicates and under

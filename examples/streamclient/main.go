@@ -14,6 +14,15 @@
 // close-time per-predicate fan-out checked against the same offline
 // oracles.
 //
+// With -slice (on by default) the client also drives one sliced session
+// (Spec.Slice): a conjunctive stream served from the incremental slice's
+// compacting frontier instead of retained history, its verdict checked
+// against both the offline batch detector and the offline slice strategy
+// (gpd.StrategySlice), and its compaction ledger checked to have freed
+// the whole stream. The multiplexed session additionally registers its
+// all(var) predicates with RegisterSpec.Slice, exercising the shared
+// per-variable slicers.
+//
 // With -debug pointing at the server's stats listener, the client ends
 // the run by scraping /debug/tenants, printing the per-tenant cost
 // summary, and failing unless every tenant it drove shows up in the
@@ -53,16 +62,17 @@ func main() {
 	events := flag.Int("events", 5, "events per process")
 	seed := flag.Int64("seed", 1, "base random seed")
 	predicates := flag.Int("predicates", 0, "also drive one multiplexed session with this many predicates (0: skip)")
+	slice := flag.Bool("slice", true, "also drive one sliced session (Spec.Slice) and cross-check it against the offline slice strategy")
 	wait := flag.Duration("wait", 5*time.Second, "how long to retry the first dial")
 	debug := flag.String("debug", "", "gpdserver stats base URL (e.g. http://127.0.0.1:7401): after the run, scrape /debug/tenants and assert every driven tenant was cost-attributed")
 	flag.Parse()
 
-	if err := run(*addr, *sessions, *procs, *events, *seed, *predicates, *wait, *debug); err != nil {
+	if err := run(*addr, *sessions, *procs, *events, *seed, *predicates, *slice, *wait, *debug); err != nil {
 		log.Fatal("streamclient: ", err)
 	}
 }
 
-func run(addr string, sessions, procs, events int, seed int64, predicates int, wait time.Duration, debug string) error {
+func run(addr string, sessions, procs, events int, seed int64, predicates int, slice bool, wait time.Duration, debug string) error {
 	// Retry the first dial so the client can be launched alongside the
 	// server (CI starts both in one step).
 	deadline := time.Now().Add(wait)
@@ -100,6 +110,12 @@ func run(addr string, sessions, procs, events int, seed int64, predicates int, w
 		return fmt.Errorf("%d of %d sessions disagreed with the offline oracle", failed, sessions)
 	}
 	fmt.Printf("streamclient: %d sessions verified against offline oracles\n", sessions)
+	if slice {
+		if err := driveSliced(addr, procs, events, seed+int64(sessions)); err != nil {
+			return fmt.Errorf("sliced session: %w", err)
+		}
+		fmt.Println("streamclient: sliced session verified against batch and slice oracles")
+	}
 	if predicates > 0 {
 		if err := driveMux(addr, procs, predicates, seed); err != nil {
 			return fmt.Errorf("multiplexed session: %w", err)
@@ -228,7 +244,9 @@ func driveMux(addr string, procs, npreds int, seed int64) error {
 		}
 		pid := fmt.Sprintf("p%04d", i)
 		texts[pid] = text
-		r := stream.RegisterSpec{ID: pid, Tenant: fmt.Sprintf("tenant-%d", i%4), Pred: text}
+		// Conjunctive registrations ride the shared per-variable slicers;
+		// registration precedes the first event, as slicing requires.
+		r := stream.RegisterSpec{ID: pid, Tenant: fmt.Sprintf("tenant-%d", i%4), Pred: text, Slice: i%5 == 0}
 		if _, err := cl.RegisterPredicate(id, r); err != nil {
 			return fmt.Errorf("register %s (%s): %w", pid, text, err)
 		}
@@ -384,6 +402,75 @@ func fabricate(i, procs, events int, seed int64) (*computation.Computation, gpd.
 		ps := gpd.Spec{Family: gpd.FamilyInFlight, Rel: gpd.Ge, K: 1 + seed%2}
 		return c, ps, stream.Spec{Pred: ps.String(), Procs: procs, Retain: true}, trace, nil
 	}
+}
+
+// driveSliced runs one sliced conjunctive session end to end. The server
+// answers from the slice's compacting frontier; the client checks the
+// verdict against two independently derived offline routes — the batch
+// detector and the slice strategy — and checks the compaction ledger
+// accounted the whole stream.
+func driveSliced(addr string, procs, events int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	c := gen.Random(gen.Params{Seed: seed, Procs: procs, Events: events, MsgFrac: 0.6})
+	gen.BoolVar(seed, c, varName, 0.4)
+	for p := 0; p < procs; p++ {
+		c.SetVar(varName, c.Initial(computation.ProcID(p)).ID, 0) // online initial states are false
+	}
+	trace, _ := stream.BoolTrace(c, varName)
+	ps := gpd.Spec{Family: gpd.FamilyConjunctive, Var: varName}
+
+	rep, err := gpd.Detect(c, ps)
+	if err != nil {
+		return err
+	}
+	repSlice, err := gpd.Detect(c, ps, gpd.WithStrategy(gpd.StrategySlice))
+	if err != nil {
+		return err
+	}
+	if rep.Holds != repSlice.Holds {
+		return fmt.Errorf("offline routes disagree: batch %v, slice %v", rep.Holds, repSlice.Holds)
+	}
+	repDef, err := gpd.Detect(c, ps, gpd.WithModality(gpd.ModalityDefinitely))
+	if err != nil {
+		return err
+	}
+
+	cl, err := stream.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	id := fmt.Sprintf("streamclient-slice-%d", os.Getpid())
+	if err := cl.Open(id, stream.Spec{Pred: ps.String(), Procs: procs, Slice: true}); err != nil {
+		return err
+	}
+	n := len(trace)
+	rng.Shuffle(len(trace), func(a, b int) { trace[a], trace[b] = trace[b], trace[a] })
+	for len(trace) > 0 {
+		k := 1 + rng.Intn(4)
+		if k > len(trace) {
+			k = len(trace)
+		}
+		if _, err := cl.Append(id, trace[:k]); err != nil {
+			return err
+		}
+		trace = trace[k:]
+	}
+	verdict, err := cl.CloseSession(id)
+	if err != nil {
+		return err
+	}
+	if verdict.Possibly != rep.Holds {
+		return fmt.Errorf("%s: server says Possibly=%v, oracles say %v", id, verdict.Possibly, rep.Holds)
+	}
+	if verdict.DefinitelyKnown && verdict.Definitely != repDef.Holds {
+		return fmt.Errorf("%s: slice decided Definitely=%v, oracle says %v", id, verdict.Definitely, repDef.Holds)
+	}
+	if verdict.SliceCompacted != int64(n) {
+		return fmt.Errorf("%s: compaction ledger %d, want the whole stream (%d)", id, verdict.SliceCompacted, n)
+	}
+	fmt.Printf("%-24s %-18s Possibly=%-5v compacted=%d ok\n", id, ps.String()+" [slice]", verdict.Possibly, verdict.SliceCompacted)
+	return nil
 }
 
 // drive runs one session end to end and checks it against the oracle.

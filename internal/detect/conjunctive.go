@@ -12,15 +12,17 @@ import (
 )
 
 func init() {
-	caps := Caps{Incremental: true, Payload: PayloadTruth}
+	caps := Caps{Incremental: true, Sliceable: true, Payload: PayloadTruth}
 	Register(Entry{
 		Family: pred.Conjunctive, Modality: ModalityPossibly, Caps: caps,
 		Batch: conjPossibly, New: newConjDetector, Linearize: linearizeConj,
+		Slice: conjSlicePossibly,
 	})
 	caps.NeedsFullTrace = true
 	Register(Entry{
 		Family: pred.Conjunctive, Modality: ModalityDefinitely, Caps: caps,
 		Batch: conjDefinitely, New: newConjDetector, Linearize: linearizeConj,
+		Slice: conjSliceDefinitely,
 	})
 }
 

@@ -85,6 +85,14 @@ const (
 	// close-time finalizer. Available only for incremental-capable
 	// families; cross-checkable against StrategyBatch.
 	StrategyReplay
+	// StrategySlice computes the predicate's slice first — the exact
+	// sublattice of satisfying cuts a regular predicate induces (Mittal
+	// & Garg, "Computation slicing") — and decides from it, delegating
+	// to the family's batch kernel only when the slice alone cannot
+	// answer. Available only for sliceable (regular) families;
+	// non-regular specs fail with an error wrapping
+	// slicing.ErrNotRegular instead of silently degrading.
+	StrategySlice
 )
 
 // String names the strategy.
@@ -94,6 +102,8 @@ func (s Strategy) String() string {
 		return "batch"
 	case StrategyReplay:
 		return "replay"
+	case StrategySlice:
+		return "slice"
 	default:
 		return fmt.Sprintf("strategy(%d)", int(s))
 	}
@@ -252,6 +262,12 @@ type Caps struct {
 	// computation: the verdict cannot be latched online and is decided
 	// by a close-time Finalizer over the retained trace.
 	NeedsFullTrace bool
+	// Sliceable reports whether the family is regular under this
+	// modality's truth conventions, so detection can go through the
+	// predicate's slice (Entry.Slice is set) — the precondition for
+	// StrategySlice and for a streaming session swapping retained
+	// history for the slice frontier.
+	Sliceable bool
 	// Payload declares the Event field the incremental detector
 	// consumes.
 	Payload Payload

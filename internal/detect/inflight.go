@@ -10,15 +10,17 @@ import (
 )
 
 func init() {
-	caps := Caps{Incremental: true, Payload: PayloadDelta}
+	caps := Caps{Incremental: true, Sliceable: true, Payload: PayloadDelta}
 	Register(Entry{
 		Family: pred.InFlight, Modality: ModalityPossibly, Caps: caps,
 		Batch: inflightPossibly, New: newInFlightDetector, Linearize: linearizeInFlight,
+		Slice: inflightSlicePossibly,
 	})
 	caps.NeedsFullTrace = true
 	Register(Entry{
 		Family: pred.InFlight, Modality: ModalityDefinitely, Caps: caps,
 		Batch: inflightDefinitely, New: newInFlightDetector, Linearize: linearizeInFlight,
+		Slice: inflightSliceDefinitely,
 	})
 }
 

@@ -28,6 +28,11 @@ type Entry struct {
 	// stream an instrumented application would have produced, plus the
 	// session configuration matching it (nil unless Caps.Incremental).
 	Linearize func(c *computation.Computation, s pred.Spec) ([]Event, Config, error)
+	// Slice decides the predicate through its computation slice (nil
+	// unless Caps.Sliceable). The route may still reject individual
+	// specs that fall outside the family's regular fragment, with an
+	// error wrapping slicing.ErrNotRegular.
+	Slice func(c *computation.Computation, s pred.Spec, opt Options, tr *obs.Trace) (Result, error)
 }
 
 type regKey struct {
@@ -51,6 +56,9 @@ func Register(e Entry) {
 	}
 	if e.Caps.Incremental && (e.New == nil || e.Linearize == nil) {
 		panic(fmt.Sprintf("detect: incremental registration for %v/%v needs New and Linearize", e.Family, e.Modality))
+	}
+	if e.Caps.Sliceable != (e.Slice != nil) {
+		panic(fmt.Sprintf("detect: registration for %v/%v must set Slice iff Caps.Sliceable", e.Family, e.Modality))
 	}
 	registry[key] = e
 }

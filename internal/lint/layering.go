@@ -38,6 +38,17 @@ var layerRules = []layerRule{
 		Why:    "theory core stays serving-free",
 	},
 	{
+		// The slicing theory builds on the computation model alone: the
+		// detector kernel and the multiplexer import it (mux shares
+		// per-variable slicers across predicates), never the other way
+		// round. Keeping the edge one-directional is what lets the slice
+		// constructor be checked against the lattice oracle with no
+		// serving machinery in scope.
+		Layers: []string{"internal/slicing"},
+		Forbid: []string{"internal/detect", "internal/mux"},
+		Why:    "the slicing theory stays kernel- and multiplexer-free",
+	},
+	{
 		// The observability substrate is dependency-free by contract:
 		// every other package may import it, so it may import none of
 		// them (and certainly not the network).

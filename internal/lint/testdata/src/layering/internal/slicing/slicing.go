@@ -1,0 +1,16 @@
+// Package slicing stands in for the slicing theory: it builds on the
+// computation model alone, so the detector kernel and the multiplexer
+// import it, never the other way round.
+package slicing
+
+import (
+	"example.com/layering/internal/detect" // want `package internal/slicing must not import internal/detect`
+	"example.com/layering/internal/lattice"
+	"example.com/layering/internal/mux" // want `package internal/slicing must not import internal/mux`
+)
+
+// Join pretends to fold one event into the slice's join-irreducibles;
+// the lattice import is the allowed theory edge.
+func Join() int {
+	return detect.Step() + mux.Route() + lattice.Explore(nil)
+}

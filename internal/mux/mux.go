@@ -6,6 +6,7 @@ import (
 
 	"github.com/distributed-predicates/gpd/internal/detect"
 	"github.com/distributed-predicates/gpd/internal/pred"
+	"github.com/distributed-predicates/gpd/internal/slicing"
 )
 
 // Registration attaches one predicate to a Group.
@@ -34,6 +35,13 @@ type Registration struct {
 	// registration bypasses the relevance index, is never latch-stopped
 	// and keeps exact pre-multiplexer session semantics.
 	AllEvents bool
+	// Slice maintains the predicate's incremental slice alongside its
+	// detector: the group feeds relevance-filtered events into a shared
+	// per-variable slicer whose compacting frontier replaces unbounded
+	// history. Regular truth-payload families only (the registry's
+	// Sliceable capability); the registration must precede the group's
+	// first event.
+	Slice bool
 }
 
 // Update is one predicate verdict change, fanned out by Drain. Seq
@@ -56,6 +64,9 @@ type Stats struct {
 	Delivered  int64 // events causally delivered
 	Holdback   int   // events buffered awaiting causal delivery
 	Window     int   // summed detector windows
+
+	SliceRetained  int   // events held across the shared slicers' frontiers
+	SliceCompacted int64 // cumulative events freed by slice compaction
 }
 
 // predicate is one registered detector and its routing state.
@@ -66,6 +77,7 @@ type predicate struct {
 	routeVar   string // "" for all-events registrations
 	procSet    []bool // nil = all processes
 	all        bool
+	sliced     bool // holds a reference on the routeVar's shared slicer
 
 	seq      int64
 	possibly bool
@@ -105,6 +117,10 @@ type Group struct {
 	vars   map[string]*varState
 	dirty  []*predicate
 	queued []Update
+
+	slicers        map[string]*groupSlicer // shared per-variable slicers (slicer.go)
+	sliceCompacted int64                   // cumulative events freed by compaction
+	sliceErr       error                   // sticky slice-maintenance failure
 
 	tenants   map[string]int
 	reap      []*predicate // deactivated but not yet removed from the indexes
@@ -149,6 +165,10 @@ func (g *Group) Register(r Registration) error {
 	if !ok || !entry.Caps.Incremental {
 		return fmt.Errorf("mux: predicate family %v has no incremental detector", r.Spec.Family)
 	}
+	if r.Slice && (!entry.Caps.Sliceable || entry.Caps.Payload != detect.PayloadTruth) {
+		return fmt.Errorf("mux: predicate %q cannot maintain a slice: %w", r.ID,
+			&slicing.NotRegularError{Detail: fmt.Sprintf("family %v is not a regular truth-payload family", r.Spec.Family)})
+	}
 	routeVar := ""
 	if !r.AllEvents {
 		routeVar = r.Spec.Var
@@ -169,6 +189,11 @@ func (g *Group) Register(r Registration) error {
 	if err != nil {
 		return fmt.Errorf("mux: %w", err)
 	}
+	if r.Slice {
+		if err := g.AttachSlicer(routeVar, r.Involved); err != nil {
+			return err
+		}
+	}
 	tenant := r.Tenant
 	if tenant == "" {
 		tenant = "default"
@@ -180,6 +205,7 @@ func (g *Group) Register(r Registration) error {
 		det:      det,
 		routeVar: routeVar,
 		all:      r.AllEvents,
+		sliced:   r.Slice,
 		active:   true,
 	}
 	// The relevance hint narrows the process set (conjunctive predicates
@@ -236,6 +262,9 @@ func (g *Group) Unregister(id string) error {
 	}
 	g.deactivate(p)
 	g.reapInactive()
+	if p.sliced {
+		g.DetachSlicer(p.routeVar)
+	}
 	g.tenants[p.tenant]--
 	if g.tenants[p.tenant] == 0 {
 		delete(g.tenants, p.tenant)
@@ -346,6 +375,9 @@ func (g *Group) deliver(ev detect.Event) {
 	if g.onDeliver != nil {
 		g.onDeliver(ev)
 	}
+	if g.slicers != nil {
+		g.observeSlicers(ev)
+	}
 	if ev.Var != "" {
 		g.recordVar(ev)
 	}
@@ -431,6 +463,7 @@ func (g *Group) Flush() bool {
 	g.dirty = g.dirty[:0]
 	g.reapInactive()
 	g.pruneProjections()
+	g.compactSlicers()
 	any := false
 	for _, p := range g.preds {
 		if p.possibly {
@@ -565,5 +598,8 @@ func (g *Group) Stats() Stats {
 		Delivered:  g.delivery.Delivered(),
 		Holdback:   g.delivery.Holdback(),
 		Window:     g.windowSum,
+
+		SliceRetained:  g.SliceRetained(),
+		SliceCompacted: g.sliceCompacted,
 	}
 }

@@ -1,0 +1,185 @@
+package mux
+
+// Shared per-variable incremental slicers: a group whose predicates are
+// regular can swap unbounded history for the slice frontier. Every
+// delivered event is observed by every attached slicer — the slicer
+// needs each process's full local order to keep its clocks aligned —
+// but the truth it records is relevance-filtered: only events tagged
+// with the slicer's variable move the predicate's truth, everything
+// else carries the process's last value forward. Predicates on the same
+// variable share one slicer, so the retained frontier is paid once per
+// variable, not once per predicate.
+
+import (
+	"fmt"
+
+	"github.com/distributed-predicates/gpd/internal/detect"
+	"github.com/distributed-predicates/gpd/internal/slicing"
+)
+
+// groupSlicer is one shared incremental slicer and its truth-routing
+// state.
+type groupSlicer struct {
+	sl       *slicing.IncrementalSlicer
+	routeVar string // "" = every event carries the truth (all-events sessions)
+	involved []bool // nil = every process carries a conjunct
+	last     []bool // carried-forward truth per process
+	refs     int    // predicates sharing this slicer
+}
+
+// observe feeds one causally delivered event into the slicer under the
+// relevance filter.
+func (gs *groupSlicer) observe(ev detect.Event) error {
+	truth := gs.last[ev.Proc]
+	if gs.routeVar == "" || ev.Var == gs.routeVar {
+		truth = ev.Truth
+		gs.last[ev.Proc] = truth
+	}
+	if gs.involved != nil && !gs.involved[ev.Proc] {
+		truth = true // uninvolved processes hold no conjunct
+	}
+	return gs.sl.Observe(ev.Proc, ev.VC, truth)
+}
+
+// involvedSet normalizes an involved-process list to a boolean vector;
+// nil (all processes) stays nil.
+func involvedSet(involved []int, procs int) []bool {
+	if len(involved) == 0 {
+		return nil
+	}
+	set := make([]bool, procs)
+	all := true
+	for _, p := range involved {
+		if p >= 0 && p < procs {
+			set[p] = true
+		}
+	}
+	for _, v := range set {
+		if !v {
+			all = false
+			break
+		}
+	}
+	if all {
+		return nil
+	}
+	return set
+}
+
+func sameInvolved(a, b []bool) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AttachSlicer attaches (or takes another reference on) the shared
+// incremental slicer for one variable. The slicer must see the stream
+// from its start — each process's full local order is what keeps its
+// clocks aligned — so attachment is only legal before any event has
+// arrived. Predicates sharing a variable must agree on the involved
+// set; a second attachment with a different one is rejected rather
+// than silently widened.
+func (g *Group) AttachSlicer(routeVar string, involved []int) error {
+	if g.delivery.Delivered() > 0 || g.delivery.Holdback() > 0 {
+		return fmt.Errorf("mux: slicers attach before any events; %d already delivered", g.delivery.Delivered())
+	}
+	inv := involvedSet(involved, g.procs)
+	if gs := g.slicers[routeVar]; gs != nil {
+		if !sameInvolved(gs.involved, inv) {
+			return fmt.Errorf("mux: slicer for variable %q already attached with a different involved set", routeVar)
+		}
+		gs.refs++
+		return nil
+	}
+	initial := make([]bool, g.procs)
+	for p := range initial {
+		initial[p] = inv != nil && !inv[p] // uninvolved: vacuously true from the start
+	}
+	if g.slicers == nil {
+		g.slicers = make(map[string]*groupSlicer)
+	}
+	g.slicers[routeVar] = &groupSlicer{
+		sl:       slicing.NewIncrementalSlicer(g.procs, initial),
+		routeVar: routeVar,
+		involved: inv,
+		last:     make([]bool, g.procs),
+		refs:     1,
+	}
+	return nil
+}
+
+// DetachSlicer drops one reference on a variable's shared slicer,
+// freeing it when the last sharer detaches.
+func (g *Group) DetachSlicer(routeVar string) {
+	gs := g.slicers[routeVar]
+	if gs == nil {
+		return
+	}
+	gs.refs--
+	if gs.refs <= 0 {
+		delete(g.slicers, routeVar)
+	}
+}
+
+// observeSlicers feeds one delivered event into every attached slicer.
+// A failed observation (a clock the causal delivery should have made
+// impossible) latches the group's slice error.
+func (g *Group) observeSlicers(ev detect.Event) {
+	if g.sliceErr != nil {
+		return
+	}
+	for _, gs := range g.slicers {
+		if err := gs.observe(ev); err != nil && g.sliceErr == nil {
+			g.sliceErr = fmt.Errorf("mux: slice maintenance: %w", err)
+		}
+	}
+}
+
+// compactSlicers runs one compaction pass over every attached slicer
+// (the Flush-path compaction hook) and accounts the freed events.
+func (g *Group) compactSlicers() {
+	for _, gs := range g.slicers {
+		g.sliceCompacted += gs.sl.Compact()
+	}
+}
+
+// SealSlicers seals every attached slicer — the stream is complete, so
+// stalled advancements become exclusions — and runs a final compaction.
+func (g *Group) SealSlicers() {
+	for _, gs := range g.slicers {
+		gs.sl.Seal()
+		g.sliceCompacted += gs.sl.Compact()
+	}
+}
+
+// Slicer returns the shared incremental slicer attached for a variable
+// (nil when none is).
+func (g *Group) Slicer(routeVar string) *slicing.IncrementalSlicer {
+	if gs := g.slicers[routeVar]; gs != nil {
+		return gs.sl
+	}
+	return nil
+}
+
+// SliceErr returns the sticky slice-maintenance error, if any.
+func (g *Group) SliceErr() error { return g.sliceErr }
+
+// SliceRetained returns the events currently held across all attached
+// slicers — the frontier a sliced session retains instead of history.
+func (g *Group) SliceRetained() int {
+	n := 0
+	for _, gs := range g.slicers {
+		n += gs.sl.Retained()
+	}
+	return n
+}
+
+// SliceCompacted returns the cumulative events freed by slice
+// compaction across all slicers the group has ever run.
+func (g *Group) SliceCompacted() int64 { return g.sliceCompacted }

@@ -31,7 +31,35 @@ import (
 // ErrNotRegular is returned when the predicate is detectably not regular
 // (the construction reached a contradiction). The construction cannot
 // always detect irregularity; Verify provides a sound (exponential) check.
+// Errors carrying detail wrap this sentinel as a *NotRegularError, so
+// errors.Is(err, ErrNotRegular) keeps working.
 var ErrNotRegular = errors.New("slicing: predicate is not regular")
+
+// NotRegularError is the detailed form of ErrNotRegular: it names the
+// witnessing cut (and what went wrong with it) so a rejected spec can be
+// debugged instead of guessed at. It unwraps to ErrNotRegular.
+type NotRegularError struct {
+	// Detail says how regularity failed, e.g. "slice contains
+	// non-satisfying cut" or "not a sliceable family".
+	Detail string
+	// Cut is the witnessing cut, when the failure names one.
+	Cut computation.Cut
+}
+
+// Error renders the sentinel's message followed by the witness.
+func (e *NotRegularError) Error() string {
+	msg := ErrNotRegular.Error()
+	if e.Detail != "" {
+		msg += ": " + e.Detail
+	}
+	if e.Cut != nil {
+		msg += fmt.Sprintf(" (witness cut %v)", e.Cut)
+	}
+	return msg
+}
+
+// Unwrap makes errors.Is(err, ErrNotRegular) hold.
+func (e *NotRegularError) Unwrap() error { return ErrNotRegular }
 
 // ErrEmpty indicates that no consistent cut satisfies the predicate, so
 // the slice is empty.
@@ -241,17 +269,17 @@ func (s *Slice) Verify(o Oracle) error {
 		return true
 	})
 	got := make(map[string]bool)
-	bad := ""
+	var bad computation.Cut
 	s.Ideals(o, func(k computation.Cut) bool {
 		got[k.Key()] = true
 		if !want[k.Key()] {
-			bad = fmt.Sprintf("slice contains non-satisfying cut %v", k)
+			bad = k.Clone()
 			return false
 		}
 		return true
 	})
-	if bad != "" {
-		return fmt.Errorf("%w: %s", ErrNotRegular, bad)
+	if bad != nil {
+		return &NotRegularError{Detail: "slice contains non-satisfying cut", Cut: bad}
 	}
 	// Check (and so report) missing cuts in sorted key order: which cut
 	// the error names must not depend on map iteration order.
@@ -262,7 +290,7 @@ func (s *Slice) Verify(o Oracle) error {
 	sort.Strings(keys)
 	for _, key := range keys {
 		if !got[key] {
-			return fmt.Errorf("%w: satisfying cut %s missing from slice", ErrNotRegular, key)
+			return &NotRegularError{Detail: fmt.Sprintf("satisfying cut %s missing from slice", key)}
 		}
 	}
 	return nil
@@ -303,4 +331,48 @@ func (o conjOracle) Forbidden(c *computation.Computation, k computation.Cut) com
 		}
 	}
 	return computation.ProcID(-1)
+}
+
+// QuiescentOracle adapts channel quiescence — the inflight == 0
+// predicate — for slicing. Quiescence is regular: a message in flight
+// at the meet (or join) of two cuts is in flight at one of them,
+// because its send lies inside both (one) and its receive outside one
+// (both). It is linear via the forbidden process: a message in flight
+// at k forces the receive into every satisfying cut above k, so the
+// receiver must advance.
+func QuiescentOracle(c *computation.Computation) Oracle {
+	msgs := c.Messages()
+	// Which in-flight message Forbidden names steers the construction,
+	// so scan in a canonical order.
+	sort.Slice(msgs, func(i, j int) bool { return msgs[i].Send < msgs[j].Send })
+	return quiescentOracle{msgs: msgs}
+}
+
+type quiescentOracle struct{ msgs []computation.Message }
+
+// inFlight returns the first in-flight message at k in send order.
+func (o quiescentOracle) inFlight(c *computation.Computation, k computation.Cut) (computation.Message, bool) {
+	for _, m := range o.msgs {
+		s := c.Event(m.Send)
+		if s.Index > k[int(s.Proc)] {
+			continue
+		}
+		if r := c.Event(m.Receive); r.Index > k[int(r.Proc)] {
+			return m, true
+		}
+	}
+	return computation.Message{}, false
+}
+
+func (o quiescentOracle) Holds(c *computation.Computation, k computation.Cut) bool {
+	_, inflight := o.inFlight(c, k)
+	return !inflight
+}
+
+func (o quiescentOracle) Forbidden(c *computation.Computation, k computation.Cut) computation.ProcID {
+	m, inflight := o.inFlight(c, k)
+	if !inflight {
+		return computation.ProcID(-1)
+	}
+	return c.Event(m.Receive).Proc
 }

@@ -109,6 +109,12 @@ type handle struct {
 	lastSeq     uint64 // seq of the session's most recent append frame
 	heldSeq     uint64 // seq that opened the current holdback episode (0 = none)
 	sloHoldback bool   // holdback SLO latched for this session
+	sloRetained bool   // retained-events SLO latched for this session
+
+	// Worker-confined slice accounting: the previous published values,
+	// for delta-feeding the engine-wide counter and gauge.
+	lastSliceRetained  int64
+	lastSliceCompacted int64
 
 	// Worker-confined multiplexing state: registration times and tenants
 	// for per-tenant verdict latency, undelivered verdict updates, and
@@ -130,6 +136,9 @@ type handle struct {
 	skipped    atomic.Int64 // mux sessions: detector steps avoided by routing
 	possibly   atomic.Bool
 	errStr     atomic.Value // string
+
+	sliceRetained  atomic.Int64 // sliced sessions: frontier size
+	sliceCompacted atomic.Int64 // sliced sessions: cumulative freed events
 }
 
 func (h *handle) stats() SessionStats {
@@ -149,6 +158,9 @@ func (h *handle) stats() SessionStats {
 		Active:     int(h.active.Load()),
 		Steps:      h.steps.Load(),
 		Skipped:    h.skipped.Load(),
+
+		SliceRetained:  int(h.sliceRetained.Load()),
+		SliceCompacted: h.sliceCompacted.Load(),
 	}
 	if e, _ := h.errStr.Load().(string); e != "" {
 		st.Error = e
@@ -225,6 +237,8 @@ type Engine struct {
 	mBreaches       map[string]*obs.Counter // SLO rule -> breach counter
 	mMuxSteps       *obs.Counter
 	mMuxSkipped     *obs.Counter
+	mSliceCompacted *obs.Counter // slice_compacted_events_total
+	gSliceRetained  *obs.Gauge   // slice_retained_events (engine-wide frontier sum)
 	// Labeled vectors: interning and the cardinality cap live in obs
 	// (the PR-6 name-mangled per-tenant series migrated here; rendered
 	// exposition names are unchanged, so dashboards keep working).
@@ -244,6 +258,8 @@ func NewEngine(cfg Config) *Engine {
 	e.mFinalizeMillis = m.Histogram("stream_finalize_millis", obs.ExpBuckets(1, 16)...)
 	e.mMuxSteps = m.Counter("mux_steps_total")
 	e.mMuxSkipped = m.Counter("mux_steps_skipped_total")
+	e.mSliceCompacted = m.Counter("slice_compacted_events_total")
+	e.gSliceRetained = m.Gauge("slice_retained_events")
 	e.vTenantPreds = m.GaugeVec("mux_registered_predicates", "tenant")
 	e.vTenantLatency = m.HistogramVec("mux_verdict_latency_millis", obs.ExpBuckets(1, 16), "tenant")
 	e.vFinalizeWork = m.CounterVec("stream_finalize_work_total", "counter")
@@ -445,6 +461,25 @@ func (e *Engine) publish(sh *shard, h *handle, sample bool) {
 		e.mMuxSkipped.Add(ms.Skipped - h.lastSkipped)
 		h.lastSteps, h.lastSkipped = ms.Steps, ms.Skipped
 	}
+	// Slice accounting: publish the frontier and feed the engine-wide
+	// series by delta, so the gauge is the live sum of every session's
+	// retained frontier and the counter is total history freed. Both
+	// reads are O(attached slicers) — zero for unsliced sessions.
+	sr := int64(s.SliceRetained())
+	if sc := s.SliceCompacted(); sr != h.lastSliceRetained || sc != h.lastSliceCompacted {
+		h.sliceRetained.Store(sr)
+		h.sliceCompacted.Store(sc)
+		e.gSliceRetained.Add(sr - h.lastSliceRetained)
+		e.mSliceCompacted.Add(sc - h.lastSliceCompacted)
+		h.lastSliceRetained, h.lastSliceCompacted = sr, sc
+	}
+	if max := e.cfg.SLO.RetainedEvents; max > 0 && !h.sloRetained {
+		if re := s.RetainedEvents(); re > max {
+			h.sloRetained = true
+			e.breach(SLORetainedEvents, h.id+": retained events "+
+				strconv.Itoa(re)+" > "+strconv.Itoa(max))
+		}
+	}
 	if sample && e.cfg.SLO.TenantCPUShare > 0 {
 		e.checkTenantCPUShare(h.tenant)
 	}
@@ -575,6 +610,7 @@ func (e *Engine) apply(sh *shard, m shardMsg, touched map[string]*handle) {
 			Spec:     ps,
 			Involved: m.reg.Involved,
 			Init:     m.reg.Init,
+			Slice:    m.reg.Slice,
 		}); err != nil {
 			m.reply <- shardReply{err: err}
 			return

@@ -89,6 +89,7 @@ func NewSession(spec Spec) (*Session, error) {
 		Init:      spec.Init,
 		Retain:    spec.Retain,
 		AllEvents: true,
+		Slice:     spec.Slice,
 	}); err != nil {
 		return nil, fmt.Errorf("stream: %w", err)
 	}
@@ -188,6 +189,9 @@ func (s *Session) Step(ev Event) error {
 			return s.fail(fmt.Errorf("stream: %w", perr))
 		}
 	}
+	if serr := s.group.SliceErr(); serr != nil {
+		return s.fail(fmt.Errorf("stream: %w", serr))
+	}
 	if s.spec.MaxWindow > 0 {
 		if hb := s.group.Holdback(); hb > s.spec.MaxWindow {
 			return s.fail(fmt.Errorf("stream: holdback exceeds max window %d (gap in the stream?)", s.spec.MaxWindow))
@@ -249,6 +253,26 @@ func (s *Session) Window() int {
 // Flushes returns the number of detector flushes performed.
 func (s *Session) Flushes() int { return s.flushes }
 
+// Sliced reports whether the session maintains an incremental slice in
+// place of retained history.
+func (s *Session) Sliced() bool { return s.spec.Slice }
+
+// SliceRetained returns the events currently held in the slicers'
+// frontiers — the window a sliced session keeps instead of the trace.
+func (s *Session) SliceRetained() int { return s.group.SliceRetained() }
+
+// SliceCompacted returns the cumulative events freed by slice
+// compaction.
+func (s *Session) SliceCompacted() int64 { return s.group.SliceCompacted() }
+
+// RetainedEvents reports the session's held history, whatever form it
+// takes: the slice frontiers of a sliced session (or of a mux
+// session's sliced registrations) plus the full delivered trace of a
+// retaining one. The engine's retained-events SLO watches this.
+func (s *Session) RetainedEvents() int {
+	return s.group.SliceRetained() + len(s.retained)
+}
+
 // Finalize seals the stream: it flushes the detectors, verifies the
 // stream was gapless, and — when a single-predicate spec retained the
 // trace — rebuilds the computation and decides Definitely with the
@@ -276,7 +300,17 @@ func (s *Session) FinalizeTraced(tr *obs.Trace) (Verdict, error) {
 	if hb := s.group.Holdback(); hb > 0 {
 		return v, s.fail(fmt.Errorf("stream: %d events undeliverable at close (gaps in the stream)", hb))
 	}
-	if s.mux || !s.spec.Retain {
+	if s.spec.Slice {
+		return s.finalizeSliced(v, tr)
+	}
+	if s.mux {
+		// Seal any sliced registrations' shared slicers so their final
+		// compaction releases the frontiers (and the engine's retained
+		// gauge walks back to zero at close).
+		s.group.SealSlicers()
+		return v, nil
+	}
+	if !s.spec.Retain {
 		return v, nil
 	}
 	fin, ok := s.group.Detector(sessionPred).(detect.Finalizer)
@@ -295,6 +329,48 @@ func (s *Session) FinalizeTraced(tr *obs.Trace) (Verdict, error) {
 		return v, s.fail(err)
 	}
 	v.Definitely, v.DefinitelyKnown = def, true
+	return v, nil
+}
+
+// finalizeSliced seals the session's incremental slice and answers
+// from it. The frontier size is captured before the seal (the seal's
+// final compaction drops everything — the stream is over). The sealed
+// slice decides Definitely in two of three outcomes with no retained
+// trace: an empty slice means no consistent cut ever satisfied the
+// predicate (Definitely false), and a slice whose top is the final cut
+// means the final cut satisfies it — every run ends there (Definitely
+// true). In between, Definitely needs the full trace the session chose
+// not to keep. The slicer's own verdict doubles as a cross-check
+// against the token checker; a mismatch is a detector bug and kills
+// the session rather than ship a wrong answer.
+func (s *Session) finalizeSliced(v Verdict, tr *obs.Trace) (Verdict, error) {
+	sl := s.group.Slicer("")
+	if sl == nil {
+		return v, s.fail(fmt.Errorf("stream: sliced session has no slicer attached"))
+	}
+	v.SliceRetained = s.group.SliceRetained()
+	s.group.SealSlicers()
+	v.SliceCompacted = s.group.SliceCompacted()
+	tr.Add("stream.slice_retained", int64(v.SliceRetained))
+	tr.Add("stream.slice_compacted", v.SliceCompacted)
+	if sl.Possibly() != s.possibly {
+		return v, s.fail(fmt.Errorf("stream: slice verdict %v disagrees with detector verdict %v", sl.Possibly(), s.possibly))
+	}
+	if !s.possibly {
+		v.Definitely, v.DefinitelyKnown = false, true
+		return v, nil
+	}
+	top := sl.Top()
+	atFinal := true
+	for p := 0; p < s.spec.Procs; p++ {
+		if int64(top[p]) != s.group.DeliveredOn(p) {
+			atFinal = false
+			break
+		}
+	}
+	if atFinal {
+		v.Definitely, v.DefinitelyKnown = true, true
+	}
 	return v, nil
 }
 

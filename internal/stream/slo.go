@@ -32,11 +32,18 @@ const (
 	// ledger-attributed CPU exceeds the threshold — the noisy-neighbour
 	// alarm for a multi-tenant engine. Needs Config.Ledger.
 	SLOTenantCPUShare = "tenant_cpu_share"
+	// SLORetainedEvents fires when a session's held history — the slice
+	// frontier of a sliced session, the full delivered trace of a
+	// retaining one — exceeds the threshold. For sliced sessions this is
+	// the O(slice) memory-bound promise; a breach means the predicate's
+	// slice itself is growing (e.g. a never-true conjunct pinning the
+	// bottom advancement).
+	SLORetainedEvents = "retained_events"
 )
 
 // sloRules lists every rule so NewEngine can pre-intern the breach
 // counters — a rule that never fires still exports an explicit zero.
-var sloRules = []string{SLOVerdictLatency, SLOHoldbackDepth, SLOMailboxDepth, SLOShedFrames, SLORegisteredPredicates, SLOTenantCPUShare}
+var sloRules = []string{SLOVerdictLatency, SLOHoldbackDepth, SLOMailboxDepth, SLOShedFrames, SLORegisteredPredicates, SLOTenantCPUShare, SLORetainedEvents}
 
 // SLOConfig is the engine's latency/backlog watchdog. A zero threshold
 // disables its rule; a zero config disables the watchdog entirely. On
@@ -69,6 +76,10 @@ type SLOConfig struct {
 	// are evaluated (default 100ms) — with microseconds of history,
 	// whichever tenant spoke first holds 100% of nothing.
 	TenantCPUFloor time.Duration
+	// RetainedEvents is the per-session held-history budget in events
+	// (slice frontier or retained trace). Fires at most once per
+	// session.
+	RetainedEvents int
 	// DumpPath is the file the flight ring is dumped to on breach (""
 	// disables dumping). The write is atomic: a temp file in the same
 	// directory, renamed into place.

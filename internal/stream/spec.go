@@ -114,6 +114,15 @@ type Spec struct {
 	// Retain keeps the full delivered trace so Close can also decide the
 	// Definitely modality offline. Costs O(events) memory.
 	Retain bool `json:"retain,omitempty"`
+	// Slice swaps unbounded per-session history for the predicate's
+	// incremental slice: the session maintains the join-irreducibles of
+	// the satisfying sublattice online and retains only the compacting
+	// frontier — O(slice) memory however long the stream runs. Regular
+	// truth-payload predicate families only (all(var)); mutually
+	// exclusive with Retain. At close the slice also decides Definitely
+	// when it can: an empty slice is Definitely false, a slice topping
+	// at the final cut is Definitely true.
+	Slice bool `json:"slice,omitempty"`
 	// MaxWindow bounds retained-window and holdback sizes; a session
 	// exceeding it fails rather than grow without bound (a silent or
 	// partitioned process prevents frontier pruning). 0 means no bound.
@@ -177,7 +186,7 @@ func (sp Spec) Validate() error {
 		if sp.Pred != "" || sp.Kind != 0 {
 			return fmt.Errorf("stream: mux sessions carry no fixed predicate; register predicates instead")
 		}
-		if len(sp.Involved) > 0 || sp.K != 0 || len(sp.Levels) > 0 || len(sp.Init) > 0 || sp.Retain {
+		if len(sp.Involved) > 0 || sp.K != 0 || len(sp.Levels) > 0 || len(sp.Init) > 0 || sp.Retain || sp.Slice {
 			return fmt.Errorf("stream: mux sessions take per-predicate options at register time, not in the spec")
 		}
 		if sp.MaxWindow < 0 {
@@ -202,6 +211,15 @@ func (sp Spec) Validate() error {
 	}
 	if ps.Family == pred.InFlight && len(sp.Init) > 0 {
 		return fmt.Errorf("stream: inflight sessions take no initial values (occupancy starts at 0)")
+	}
+	if sp.Slice {
+		if sp.Retain {
+			return fmt.Errorf("stream: slice and retain are mutually exclusive; the slice frontier replaces retained history")
+		}
+		entry, ok := detect.Lookup(ps.Family, detect.ModalityPossibly)
+		if !ok || !entry.Caps.Sliceable || entry.Caps.Payload != detect.PayloadTruth {
+			return fmt.Errorf("stream: slice sessions need a regular truth-payload predicate family; %v is not (use all(var))", ps.Family)
+		}
 	}
 	if len(sp.Init) > sp.Procs {
 		return fmt.Errorf("stream: %d initial values for %d processes", len(sp.Init), sp.Procs)
@@ -231,6 +249,16 @@ type Verdict struct {
 	// cut; only meaningful when DefinitelyKnown.
 	Definitely bool `json:"definitely,omitempty"`
 	// DefinitelyKnown is set when the session retained the trace and
-	// could run the offline Definitely detector at Close.
+	// could run the offline Definitely detector at Close — or when a
+	// sliced session's sealed slice decided it (an empty slice is
+	// Definitely false; a slice topping at the final cut is Definitely
+	// true).
 	DefinitelyKnown bool `json:"definitely_known,omitempty"`
+	// SliceRetained is the slice frontier size at close (sliced
+	// sessions only): the ceiling of what the session ever had to keep.
+	SliceRetained int `json:"slice_retained,omitempty"`
+	// SliceCompacted is the total events freed by slice compaction over
+	// the session's lifetime — the history a retaining session would
+	// have held.
+	SliceCompacted int64 `json:"slice_compacted,omitempty"`
 }

@@ -67,6 +67,12 @@ type RegisterSpec struct {
 	// variable; boolean families: 0/1 truth). nil seeds from the last
 	// delivered values at the registration cut.
 	Init []int64 `json:"init,omitempty"`
+	// Slice maintains the predicate's incremental slice alongside its
+	// detector: predicates sharing a variable share one compacting
+	// frontier instead of unbounded history. Regular truth-payload
+	// families only (all(var)); must be registered before the session's
+	// first event.
+	Slice bool `json:"slice,omitempty"`
 }
 
 // Response is the server's reply to each request frame.

@@ -7,10 +7,13 @@ package gpd
 // parallel kernels via WithParallelism.
 
 import (
+	"github.com/distributed-predicates/gpd/internal/computation"
 	"github.com/distributed-predicates/gpd/internal/conjunctive"
 	"github.com/distributed-predicates/gpd/internal/core/relsum"
 	"github.com/distributed-predicates/gpd/internal/core/singular"
 	"github.com/distributed-predicates/gpd/internal/core/symmetric"
+	"github.com/distributed-predicates/gpd/internal/linear"
+	"github.com/distributed-predicates/gpd/internal/slicing"
 )
 
 // WithDetectStrategy selects the detection route; the default is
@@ -133,4 +136,80 @@ func PossiblySymmetric(c *Computation, spec SymmetricSpec, truth func(Event) boo
 // ModalityDefinitely.
 func DefinitelySymmetric(c *Computation, spec SymmetricSpec, truth func(Event) bool) (bool, error) {
 	return symmetric.Definitely(c, spec, truth)
+}
+
+// Slice is the computation slice with respect to a regular predicate: a
+// compact representation of exactly the consistent cuts satisfying it.
+//
+// Deprecated: use Detect with WithStrategy(StrategySlice); the slice is
+// built and decided behind the front door. This alias remains for
+// callers inspecting slices directly via ComputeSlice.
+type Slice = slicing.Slice
+
+// SliceOracle evaluates a regular predicate and names forbidden
+// processes.
+//
+// Deprecated: use Detect with WithStrategy(StrategySlice); custom
+// regular predicates outside the spec grammar still implement this to
+// drive ComputeSlice.
+type SliceOracle = slicing.Oracle
+
+// ErrSliceEmpty reports that no consistent cut satisfies the predicate.
+//
+// Deprecated: Detect under StrategySlice reports an empty slice as
+// Holds == false rather than an error; only ComputeSlice returns this.
+var ErrSliceEmpty = slicing.ErrEmpty
+
+// ComputeSlice builds the slice of the computation for a regular
+// predicate.
+//
+// Deprecated: use Detect with WithStrategy(StrategySlice); this wrapper
+// remains for callers that enumerate or count slice ideals themselves
+// with oracles no Spec expresses.
+func ComputeSlice(c *Computation, o SliceOracle) (*Slice, error) {
+	return slicing.Compute(c, o)
+}
+
+// ConjunctiveSliceOracle adapts local predicates (the canonical regular
+// predicate) for slicing.
+//
+// Deprecated: use Detect with an all(var) Spec and
+// WithStrategy(StrategySlice); this wrapper remains for per-process
+// predicate functions no variable table expresses.
+func ConjunctiveSliceOracle(locals map[ProcID]func(Event) bool) SliceOracle {
+	adapted := make(map[computation.ProcID]func(computation.Event) bool, len(locals))
+	for p, f := range locals {
+		adapted[p] = f
+	}
+	return slicing.ConjunctiveOracle(adapted)
+}
+
+// LinearOracle evaluates a linear predicate and names forbidden
+// processes (linearity: satisfying cuts closed under meet).
+//
+// Deprecated: regular predicates go through Detect with
+// WithStrategy(StrategySlice); this alias remains for PossiblyLinear
+// callers with merely-linear (not regular) predicates.
+type LinearOracle = linear.Oracle
+
+// PossiblyLinear detects Possibly(B) for a linear predicate B, returning
+// the unique least satisfying cut as the witness.
+//
+// Deprecated: use Detect with an all(var) Spec (the Report carries the
+// least satisfying cut as its witness); this wrapper remains for
+// callers with linear oracles no variable table expresses.
+func PossiblyLinear(c *Computation, o LinearOracle) (bool, Cut) {
+	return linear.Possibly(c, o)
+}
+
+// LinearConjunctive adapts local predicates to a linear oracle.
+//
+// Deprecated: use Detect with an all(var) Spec; this wrapper remains
+// for per-process predicate functions no variable table expresses.
+func LinearConjunctive(locals map[ProcID]func(Event) bool) LinearOracle {
+	adapted := make(map[computation.ProcID]func(computation.Event) bool, len(locals))
+	for p, f := range locals {
+		adapted[p] = f
+	}
+	return linear.Conjunctive(adapted)
 }
